@@ -1,0 +1,49 @@
+"""Extension — the adaptivity spectrum the paper's introduction draws:
+oblivious routing (XY) vs restricted adaptivity (planar-adaptive, one
+of the paper's two named reference routers) vs full minimal adaptivity
+(NARA) under adversarial transpose traffic.
+
+Expected shape (and the paper's argument for configurable routing): on
+a permutation workload the adaptive schemes sustain far more load than
+the oblivious one; on a 2-D mesh PAR's single plane is already fully
+adaptive, so it tracks NARA closely — the gap opens on deeper meshes
+where PAR's plane discipline bites.
+"""
+
+from repro.experiments import WorkloadSpec, run_workload, save_report, table
+from repro.sim import Mesh2D
+
+
+def run():
+    rows = []
+    for algo in ("xy", "par", "nara"):
+        for load in (0.15, 0.25, 0.35):
+            spec = WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
+                                pattern="transpose", load=load,
+                                cycles=2000, warmup=500, seed=19)
+            res = run_workload(spec, drain=False)
+            rows.append({"algorithm": algo, "offered": load,
+                         "accepted": res["throughput_flits_node_cycle"],
+                         "latency": res["mean_latency"]})
+    return rows
+
+
+def test_adaptive_comparison(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(rows, [("algorithm", "algorithm"), ("offered", "offered"),
+                        ("accepted", "accepted"), ("latency", "latency")],
+                 title="Adaptivity spectrum under transpose traffic, "
+                       "8x8 mesh")
+    save_report("adaptive_comparison", text)
+
+    by = {(r["algorithm"], r["offered"]): r for r in rows}
+    # oblivious XY saturates: at 0.35 offered it accepts much less than
+    # the adaptive schemes and its latency explodes
+    assert by[("xy", 0.35)]["accepted"] < 0.75 * by[("nara", 0.35)]["accepted"]
+    assert by[("xy", 0.25)]["latency"] > 2 * by[("nara", 0.25)]["latency"]
+    # on a 2-D mesh PAR is fully adaptive in its single plane: within
+    # ~15% of NARA everywhere
+    for load in (0.15, 0.25, 0.35):
+        a = by[("par", load)]["accepted"]
+        b = by[("nara", load)]["accepted"]
+        assert abs(a - b) <= 0.15 * max(a, b)

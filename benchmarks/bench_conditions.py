@@ -1,0 +1,114 @@
+"""F2 — the paper's Conditions 1-3 (Section 2.1), quantified per
+algorithm and fault count.
+
+Condition 1 (fully adaptive minimal, fault-free) holds for NARA/NAFTA
+by construction and fails for the oblivious and tree baselines;
+Condition 2 (a surviving minimal path is used) holds for the adaptive
+schemes; Condition 3 (delivery whenever connected) degrades gracefully
+for NAFTA/ROUTE_C with the fault count — the approximation cost the
+paper discusses.
+"""
+
+import numpy as np
+
+from repro.analysis import (check_condition1, check_conditions_2_3,
+                            connected_pairs)
+from repro.experiments import save_report, table
+from repro.routing import make_algorithm
+from repro.sim import (FaultSchedule, FaultState, Hypercube, Mesh2D,
+                       Network, random_link_faults)
+
+
+def condition1_results():
+    out = {}
+    topo = Mesh2D(5, 5)
+    pairs = [(s, d) for s in range(0, 25, 2) for d in range(1, 25, 3)
+             if s != d]
+    for name in ("nara", "nafta", "xy", "spanning_tree"):
+        net = Network(Mesh2D(5, 5), make_algorithm(name))
+        res = check_condition1(net, pairs)
+        out[name] = res
+    return out
+
+
+def conditions23_sweep():
+    rows = []
+    rng = np.random.default_rng(11)
+    for n_faults in (1, 2, 4):
+        topo = Mesh2D(6, 6)
+        links = random_link_faults(topo, n_faults, rng)
+        sched = FaultSchedule.static(links=links)
+        faults = FaultState(topo)
+        for ev in sched.events:
+            faults.apply(ev)
+        pairs = connected_pairs(topo, faults)[::7]
+        for algo in ("nafta", "spanning_tree"):
+            res = check_conditions_2_3(topo, lambda a=algo: make_algorithm(a),
+                                       sched, pairs)
+            rows.append({
+                "topology": "mesh 6x6", "algorithm": algo,
+                "faults": n_faults, "pairs": res["condition3"].pairs,
+                "c2_minimal_rate": res["condition2"].minimal_rate,
+                "c3_delivery_rate": res["condition3"].delivery_rate,
+            })
+    # hypercube / ROUTE_C
+    for n_faults in (1, 2, 3):
+        topo = Hypercube(4)
+        nodes = list(range(1, 1 + n_faults))
+        sched = FaultSchedule.static(nodes=nodes)
+        faults = FaultState(topo)
+        for ev in sched.events:
+            faults.apply(ev)
+        pairs = connected_pairs(topo, faults)[::5]
+        res = check_conditions_2_3(topo, lambda: make_algorithm("route_c"),
+                                   sched, pairs)
+        rows.append({
+            "topology": "cube d=4", "algorithm": "route_c",
+            "faults": n_faults, "pairs": res["condition3"].pairs,
+            "c2_minimal_rate": res["condition2"].minimal_rate,
+            "c3_delivery_rate": res["condition3"].delivery_rate,
+        })
+    return rows
+
+
+def test_conditions(benchmark):
+    c1, rows = benchmark.pedantic(
+        lambda: (condition1_results(), conditions23_sweep()),
+        rounds=1, iterations=1)
+
+    c1_rows = [{"algorithm": k,
+                "fully_adaptive_pairs": f"{v.pairs_fully_adaptive}"
+                                        f"/{v.pairs_checked}",
+                "condition1": "yes" if v.satisfied else "no"}
+               for k, v in c1.items()]
+    text = "\n\n".join([
+        table(c1_rows, [("algorithm", "algorithm"),
+                        ("fully_adaptive_pairs", "adaptive pairs"),
+                        ("condition1", "Condition 1")],
+              title="Condition 1 (fault-free full minimal adaptivity)"),
+        table(rows, [("topology", "topology"), ("algorithm", "algorithm"),
+                     ("faults", "faults"), ("pairs", "pairs"),
+                     ("c2_minimal_rate", "C2 minimal rate"),
+                     ("c3_delivery_rate", "C3 delivery rate")],
+              title="Conditions 2/3 under faults"),
+    ])
+    save_report("conditions", text)
+
+    assert c1["nara"].satisfied and c1["nafta"].satisfied
+    assert not c1["xy"].satisfied and not c1["spanning_tree"].satisfied
+    by = {(r["algorithm"], r["faults"], r["topology"]): r for r in rows}
+    # NAFTA: keeps high minimal-path usage (Condition 2) and delivers
+    # almost everything with few faults
+    for f in (1, 2, 4):
+        r = by[("nafta", f, "mesh 6x6")]
+        assert r["c2_minimal_rate"] >= 0.9
+        assert r["c3_delivery_rate"] >= 0.85
+    # the spanning tree trades Condition 2 away completely
+    for f in (1, 2, 4):
+        r = by[("spanning_tree", f, "mesh 6x6")]
+        assert r["c2_minimal_rate"] < by[("nafta", f, "mesh 6x6")][
+            "c2_minimal_rate"]
+        assert r["c3_delivery_rate"] == 1.0
+    # ROUTE_C delivers everywhere while the cube is not totally unsafe
+    for f in (1, 2, 3):
+        assert by[("route_c", f, "cube d=4")]["c3_delivery_rate"] >= 0.95

@@ -1,0 +1,68 @@
+"""F4 (hypercube half) — ROUTE_C vs its stripped variant on the cube.
+
+Fault-free the two behave identically (the paper's definition of the
+nft variant) with ROUTE_C paying one extra interpretation step per
+decision; under node faults full ROUTE_C keeps the surviving network
+connected-and-served while the stripped variant cannot route around
+anything.
+"""
+
+from repro.experiments import (WorkloadSpec, cube_fault_sweep, run_workload,
+                               save_report, table)
+from repro.sim import Hypercube
+
+
+def run():
+    rows = []
+    for algo in ("route_c_nft", "route_c"):
+        spec = WorkloadSpec(topology=Hypercube(4), algorithm=algo,
+                            load=0.12, cycles=2500, warmup=500, seed=31)
+        res = run_workload(spec)
+        rows.append({"algorithm": algo, "node_faults": 0,
+                     "latency": res["mean_latency"],
+                     "hops": res["mean_hops"],
+                     "throughput": res["throughput_flits_node_cycle"],
+                     "mean_steps": res["mean_decision_steps"],
+                     "undelivered": res["undelivered"],
+                     "misrouted": res["misrouted_fraction"]})
+    for res in cube_fault_sweep("route_c", [1, 2, 3], dimension=4,
+                                load=0.12, cycles=2500, warmup=500):
+        rows.append({"algorithm": "route_c",
+                     "node_faults": res["n_node_faults"],
+                     "latency": res["mean_latency"],
+                     "hops": res["mean_hops"],
+                     "throughput": res["throughput_flits_node_cycle"],
+                     "mean_steps": res["mean_decision_steps"],
+                     "undelivered": res["undelivered"],
+                     "misrouted": res["misrouted_fraction"]})
+    return rows
+
+
+def test_cube_overhead(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(rows, [("algorithm", "algorithm"),
+                        ("node_faults", "node faults"),
+                        ("latency", "mean latency"), ("hops", "mean hops"),
+                        ("throughput", "throughput"),
+                        ("mean_steps", "steps/decision"),
+                        ("undelivered", "undelivered"),
+                        ("misrouted", "misrouted frac")],
+                 title="ROUTE_C on a 16-node hypercube, uniform "
+                       "0.12 flits/node/cycle")
+    save_report("cube_overhead", text)
+
+    by = {(r["algorithm"], r["node_faults"]): r for r in rows}
+    # fault-free equivalence in paths; the time overhead is the extra
+    # interpretation step (2 vs 1)
+    assert abs(by[("route_c", 0)]["hops"] - by[("route_c_nft", 0)]["hops"]) \
+        < 0.05
+    assert by[("route_c", 0)]["mean_steps"] == 2.0
+    assert by[("route_c_nft", 0)]["mean_steps"] == 1.0
+    # graceful degradation: everything still delivered with 3 faults
+    for f in (1, 2, 3):
+        r = by[("route_c", f)]
+        assert r["undelivered"] == 0
+        assert not r["deadlocked"] if "deadlocked" in r else True
+    # detours happen and cost hops, but latency stays bounded
+    assert by[("route_c", 3)]["latency"] < \
+        2.5 * by[("route_c", 0)]["latency"]

@@ -1,0 +1,43 @@
+"""F3 — the impact of routing-decision time on network latency
+([DLO97], the motivation for executing rule bases in hardware rather
+than software).
+
+Sweeping the cycles one interpretation step costs (1 = the paper's
+hardware rule interpreter; larger values model slower, software-like
+control) must show latency growing with decision time and saturation
+throughput shrinking — the reason "software solutions would limit the
+network performance drastically" (Section 4.3).
+"""
+
+from repro.experiments import decision_time_sweep, save_report, table
+from repro.sim import Mesh2D
+
+
+def run():
+    return decision_time_sweep(
+        lambda: Mesh2D(8, 8), "nafta",
+        cycles_per_step_list=[1, 2, 4, 8],
+        load=0.15, cycles=2000, warmup=400, seed=5)
+
+
+def test_decision_time(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"cycles_per_step": r["cycles_per_step"],
+             "mean_latency": r["mean_latency"],
+             "p99_latency": r["p99_latency"],
+             "throughput": r["throughput_flits_node_cycle"]}
+            for r in results]
+    text = table(rows, [("cycles_per_step", "cycles/step"),
+                        ("mean_latency", "mean latency"),
+                        ("p99_latency", "p99 latency"),
+                        ("throughput", "throughput")],
+                 title="Decision-time impact on an 8x8 mesh under NAFTA "
+                       "(uniform traffic, 0.15 flits/node/cycle)")
+    save_report("decision_time", text)
+
+    lat = {r["cycles_per_step"]: r["mean_latency"] for r in results}
+    # latency strictly grows with the decision time
+    assert lat[1] < lat[2] < lat[4] < lat[8]
+    # a software-like 8-cycle decision at least doubles the latency of
+    # the single-cycle hardware interpreter
+    assert lat[8] > 2 * lat[1]

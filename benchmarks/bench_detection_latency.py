@@ -1,0 +1,64 @@
+"""Extension — fault-detection latency (the heartbeat layer of
+Figure 3's Information Units).
+
+The paper's assumption iv idealizes diagnosis as instantaneous and
+message-safe.  Here links die mid-traffic in 'harsh' mode and the
+routers only *learn* of each fault after a heartbeat-timeout window,
+during which worms keep steering into the dead link and stall.  The
+sweep shows detection latency translating directly into tail latency
+and rip-up losses — the engineering argument for fast Information
+Units.
+"""
+
+from repro.experiments import save_report, table
+from repro.routing import NaftaRouting
+from repro.sim import (FaultSchedule, Mesh2D, Network, SimConfig,
+                       TrafficGenerator)
+
+
+def run_delay(delay: int):
+    topo = Mesh2D(8, 8)
+    cfg = SimConfig(fault_mode="harsh", detection_delay=delay)
+    net = Network(topo, NaftaRouting(), config=cfg)
+    sched = FaultSchedule()
+    sched.add_link_fault(600, topo.node_at(3, 3), topo.node_at(4, 3))
+    sched.add_link_fault(900, topo.node_at(4, 4), topo.node_at(4, 5))
+    net.fault_schedule = sched
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.15,
+                                        message_length=6, seed=47))
+    net.set_warmup(300)
+    net.run(2500)
+    net.traffic = None
+    net.run_until_drained()
+    lost = sum(1 for m in net.messages.values()
+               if m.dropped and m.delivered is None
+               and not m.header.fields.get("stuck"))
+    return {
+        "detection_delay": delay,
+        "mean_latency": net.stats.mean_latency,
+        "p99_latency": net.stats.p99_latency,
+        "ripped_up": net.stats.messages_dropped,
+        "lost": lost,
+    }
+
+
+def test_detection_latency(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_delay(d) for d in (0, 50, 200, 600)],
+        rounds=1, iterations=1)
+    text = table(rows, [("detection_delay", "detection delay"),
+                        ("mean_latency", "mean latency"),
+                        ("p99_latency", "p99"),
+                        ("ripped_up", "ripped up"), ("lost", "lost")],
+                 title="Heartbeat detection latency, 2 dynamic link "
+                       "faults, 8x8 mesh, NAFTA (harsh mode)")
+    save_report("detection_latency", text)
+
+    by = {r["detection_delay"]: r for r in rows}
+    # slower detection inflates the tail: messages stall at the dead
+    # link until the heartbeat times out
+    assert by[600]["p99_latency"] > by[0]["p99_latency"]
+    assert by[600]["mean_latency"] >= by[0]["mean_latency"]
+    # every configuration still drains and accounts for its messages
+    for r in rows:
+        assert r["lost"] <= r["ripped_up"]

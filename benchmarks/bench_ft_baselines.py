@@ -1,0 +1,68 @@
+"""Extension — three classes of fault tolerance compared on one faulty
+mesh:
+
+* NAFTA: topology-specific, constant per-node state, wave-propagated
+  knowledge (the paper's main subject);
+* up*/down*: topology-independent, centralized reconfiguration, every
+  link usable (the Autonet/Myrinet cluster-network approach the paper's
+  introduction situates itself against);
+* spanning tree: the trivial Section-2.1 baseline.
+
+Expected shape: NAFTA wins on latency/minimality (it keeps minimal
+adaptivity), up*/down* delivers everywhere at moderate cost, the tree
+is far behind; only NAFTA refuses any healthy pairs (its Condition-3
+concession), only NAFTA pays multi-step decisions.
+"""
+
+import numpy as np
+
+from repro.experiments import WorkloadSpec, run_workload, save_report, table
+from repro.sim import Mesh2D, random_link_faults
+
+
+def run():
+    topo = Mesh2D(8, 8)
+    rng = np.random.default_rng(41)
+    links = random_link_faults(topo, 6, rng)
+    rows = []
+    for algo in ("nafta", "updown", "spanning_tree"):
+        spec = WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
+                            load=0.10, cycles=2500, warmup=500, seed=43,
+                            fault_links=list(links))
+        res = run_workload(spec)
+        rows.append({
+            "algorithm": algo,
+            "latency": res["mean_latency"],
+            "p99": res["p99_latency"],
+            "hops": res["mean_hops"],
+            "throughput": res["throughput_flits_node_cycle"],
+            "stuck": res["messages_stuck"],
+            "unroutable": res["messages_unroutable"],
+            "max_steps": res["max_decision_steps"],
+        })
+    return rows
+
+
+def test_ft_baselines(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(rows, [("algorithm", "algorithm"),
+                        ("latency", "mean latency"), ("p99", "p99"),
+                        ("hops", "mean hops"), ("throughput", "throughput"),
+                        ("stuck", "stuck"), ("unroutable", "unroutable"),
+                        ("max_steps", "steps")],
+                 title="Fault-tolerance classes on an 8x8 mesh with 6 "
+                       "random link faults, uniform 0.10 flits/node/cycle")
+    save_report("ft_baselines", text)
+
+    by = {r["algorithm"]: r for r in rows}
+    # NAFTA keeps the lowest latency and near-minimal hops
+    assert by["nafta"]["latency"] <= by["updown"]["latency"]
+    assert by["updown"]["latency"] <= by["spanning_tree"]["latency"]
+    assert by["nafta"]["hops"] <= by["updown"]["hops"] + 0.5
+    # up*/down* and the tree never strand or refuse connected pairs
+    for algo in ("updown", "spanning_tree"):
+        assert by[algo]["stuck"] == 0
+        assert by[algo]["unroutable"] == 0
+    # the decision-time cost is NAFTA's alone (multi-step ft decisions)
+    assert by["nafta"]["max_steps"] == 3
+    assert by["updown"]["max_steps"] == 1

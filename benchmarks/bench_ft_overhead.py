@@ -1,0 +1,70 @@
+"""E6 — the paper's headline: "fault tolerance implies a considerable
+overhead in hardware cost and in the time required for a routing
+decision".
+
+Aggregates both rulesets' compiled costs into ft-vs-nft ratios (table
+bits, register bits, virtual channels, interpretation steps) and checks
+every overhead is present and considerable.
+"""
+
+from repro.experiments import PAPER, save_report, table
+from repro.hwcost import cost_report
+from repro.routing import make_algorithm
+
+
+def build():
+    nafta = cost_report("nafta")
+    route_c = cost_report("route_c", {"d": 6, "a": 2})
+    rows = []
+    for label, rep, ft_algo, nft_algo in (
+            ("NAFTA vs NARA (mesh)", nafta, "nafta", "nara"),
+            ("ROUTE_C vs stripped (cube)", route_c, "route_c",
+             "route_c_nft")):
+        ft = make_algorithm(ft_algo)
+        nft = make_algorithm(nft_algo)
+        rows.append({
+            "pair": label,
+            "table_bits_total": rep.total_table_bits,
+            "table_bits_nft": rep.nft_table_bits,
+            "table_overhead": (rep.total_table_bits - rep.nft_table_bits)
+            / max(1, rep.nft_table_bits),
+            "reg_bits_total": rep.total_register_bits,
+            "reg_bits_ft_only": rep.ft_only_register_bits,
+            "vcs_ft": ft.n_vcs,
+            "vcs_nft": nft.n_vcs,
+            "steps_ft_worst": ft.decision_steps_range()[1],
+            "steps_nft": nft.decision_steps_range()[1],
+        })
+    return rows
+
+
+def test_ft_overhead(benchmark):
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = table(rows, [
+        ("pair", "pair"),
+        ("table_bits_total", "tbl bits"),
+        ("table_bits_nft", "tbl nft"),
+        ("table_overhead", "tbl ovh"),
+        ("reg_bits_total", "reg bits"),
+        ("reg_bits_ft_only", "reg ft"),
+        ("vcs_ft", "VC ft"), ("vcs_nft", "VC nft"),
+        ("steps_ft_worst", "steps ft"), ("steps_nft", "steps nft"),
+    ], title="Fault-tolerance overhead summary (paper Section 5/6)")
+    save_report("ft_overhead", text)
+
+    for r in rows:
+        # hardware: ft variant needs strictly more table memory and
+        # registers than the stripped one
+        assert r["table_overhead"] > 0.25, r["pair"]
+        assert r["reg_bits_ft_only"] > 0, r["pair"]
+        # time: more interpretation steps in the worst case
+        assert r["steps_ft_worst"] > r["steps_nft"], r["pair"]
+    by = {r["pair"]: r for r in rows}
+    # NAFTA's ft cost is dominated by state handling (VC count equal);
+    # ROUTE_C's is dominated by the fivefold virtual channel demand —
+    # the paper's closing observation
+    nafta = by["NAFTA vs NARA (mesh)"]
+    rc = by["ROUTE_C vs stripped (cube)"]
+    assert nafta["vcs_ft"] == nafta["vcs_nft"] == PAPER["nafta_vcs"]
+    assert rc["vcs_ft"] == PAPER["route_c_vcs"]
+    assert rc["vcs_nft"] == 1

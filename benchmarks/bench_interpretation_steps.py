@@ -1,0 +1,63 @@
+"""E3 — interpretation steps per routing decision (paper Section 5).
+
+"While NAFTA in the fault-free case proceeds with one step and in the
+worst case needs three, ROUTE_C always needs two steps.  In both cases
+this overhead in time accounts to fault-tolerance.  The non-fault-
+tolerant routing algorithm NARA and a stripped down variant of ROUTE_C
+can be implemented with only one interpretation per message."
+
+Measured by running real traffic through the simulator and reading the
+per-decision step counters.
+"""
+
+from repro.experiments import PAPER, WorkloadSpec, run_workload, save_report, table
+from repro.sim import Hypercube, Mesh2D
+
+
+def run_all():
+    results = []
+    scenarios = [
+        ("nara", Mesh2D(8, 8), [], "mesh, fault-free"),
+        ("nafta", Mesh2D(8, 8), [], "mesh, fault-free"),
+        ("nafta", Mesh2D(8, 8), [(27, 28), (27, 35)], "mesh, 2 link faults"),
+        ("route_c_nft", Hypercube(4), [], "cube, fault-free"),
+        ("route_c", Hypercube(4), [], "cube, fault-free"),
+        ("route_c", Hypercube(4), [(0, 1), (5, 7)], "cube, 2 link faults"),
+    ]
+    for algo, topo, links, label in scenarios:
+        spec = WorkloadSpec(topology=topo, algorithm=algo, load=0.1,
+                            cycles=1500, warmup=300, fault_links=links)
+        res = run_workload(spec)
+        res["scenario"] = f"{algo} ({label})"
+        results.append(res)
+    return results
+
+
+def test_interpretation_steps(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [{"scenario": r["scenario"],
+             "mean_steps": r["mean_decision_steps"],
+             "max_steps": r["max_decision_steps"],
+             "decisions": r["decisions"]} for r in results]
+    text = table(rows, [("scenario", "scenario"),
+                        ("mean_steps", "mean steps"),
+                        ("max_steps", "max steps"),
+                        ("decisions", "decisions")],
+                 title="Interpretation steps per routing decision "
+                       "(paper: NARA 1, NAFTA 1..3, stripped ROUTE_C 1, "
+                       "ROUTE_C 2)")
+    save_report("interpretation_steps", text)
+
+    by = {r["scenario"]: r for r in results}
+    assert by["nara (mesh, fault-free)"]["max_decision_steps"] == \
+        PAPER["nft_steps"]
+    assert by["nafta (mesh, fault-free)"]["max_decision_steps"] == \
+        PAPER["nafta_steps_fault_free"]
+    assert by["nafta (mesh, 2 link faults)"]["max_decision_steps"] == \
+        PAPER["nafta_steps_worst"]
+    assert by["route_c_nft (cube, fault-free)"]["max_decision_steps"] == \
+        PAPER["nft_steps"]
+    for label in ("route_c (cube, fault-free)",
+                  "route_c (cube, 2 link faults)"):
+        assert by[label]["mean_decision_steps"] == PAPER["route_c_steps"]
+        assert by[label]["max_decision_steps"] == PAPER["route_c_steps"]

@@ -1,0 +1,63 @@
+"""F4 (load curve) — latency versus offered load, the standard figure
+of the routing literature the paper's evaluation builds on: adaptive
+NAFTA/NARA sustain a higher load than oblivious XY before saturating,
+and the spanning-tree baseline saturates far earlier ("uses only a
+small fraction of the network links").
+"""
+
+from repro.experiments import latency_vs_load, line_chart, save_report, table
+from repro.sim import Mesh2D
+
+LOADS = [0.05, 0.10, 0.20, 0.30, 0.40]
+
+
+def run():
+    out = {}
+    for algo in ("xy", "nara", "spanning_tree"):
+        out[algo] = latency_vs_load(lambda: Mesh2D(8, 8), algo, LOADS,
+                                    cycles=2200, warmup=600, seed=13)
+    return out
+
+
+def accepted(points):
+    return [p["throughput_flits_node_cycle"] for p in points]
+
+
+def test_latency_vs_load(benchmark):
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for algo, points in curves.items():
+        for p in points:
+            rows.append({"algorithm": algo, "offered": p["load"],
+                         "accepted": p["throughput_flits_node_cycle"],
+                         "latency": p["mean_latency"]})
+    chart = line_chart(
+        {algo: [(p["load"], p["mean_latency"]) for p in points]
+         for algo, points in curves.items()},
+        title="mean latency vs offered load (log y)",
+        x_label="offered load [flits/node/cycle]", y_label="cycles",
+        y_log=True)
+    text = "\n\n".join([
+        table(rows, [("algorithm", "algorithm"), ("offered", "offered"),
+                     ("accepted", "accepted"), ("latency", "mean latency")],
+              title="Latency vs offered load, 8x8 mesh, uniform traffic, "
+                    "4-flit worms"),
+        chart,
+    ])
+    save_report("latency_load", text)
+
+    # all schemes deliver the offered load at 0.05
+    for algo in curves:
+        assert accepted(curves[algo])[0] > 0.04
+    # the spanning tree saturates earliest: at 0.2 offered it accepts
+    # clearly less than the adaptive scheme
+    sat_tree = accepted(curves["spanning_tree"])[2]
+    sat_nara = accepted(curves["nara"])[2]
+    assert sat_tree < 0.8 * sat_nara
+    # adaptive NARA sustains at least as much accepted load as
+    # oblivious XY at the highest offered load
+    assert accepted(curves["nara"])[-1] >= 0.95 * accepted(curves["xy"])[-1]
+    # latency rises with load for every algorithm
+    for algo, points in curves.items():
+        lats = [p["mean_latency"] for p in points]
+        assert lats[-1] > lats[0]

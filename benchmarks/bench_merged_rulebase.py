@@ -1,0 +1,61 @@
+"""E4 — the merged decide_dir + decide_vc rule base of ROUTE_C.
+
+Paper Section 5: integrating the two interpretation steps into one
+"would result in very large rule bases": 1024 * 2^d x (d+1+a) bits.
+We compile the actual merged rule program for a sweep of d and verify
+the exponential-in-d growth law and the blow-up relative to the split
+formulation (whose tables stay flat in d).
+"""
+
+from repro.experiments import PAPER, save_report, table
+from repro.routing.rulesets import compile_ruleset
+
+
+def sweep():
+    rows = []
+    for d in (3, 4, 5, 6, 8, 10):
+        merged = compile_ruleset("route_c_merged", {"d": d, "a": 2},
+                                 materialize=False)
+        split = compile_ruleset("route_c", {"d": d, "a": 2},
+                                materialize=False)
+        mb = merged.rulebases["decide_all"]
+        split_bits = (split.rulebases["decide_dir"].size_bits
+                      + split.rulebases["decide_vc"].size_bits)
+        rows.append({
+            "d": d,
+            "paper_entries": PAPER["merged_entries"](d),
+            "paper_width": PAPER["merged_width"](d, 2),
+            "ours_entries": mb.n_entries,
+            "ours_width": mb.width,
+            "ours_bits": mb.size_bits,
+            "split_bits": split_bits,
+            "blowup": mb.size_bits / split_bits,
+        })
+    return rows
+
+
+def test_merged_rulebase(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = table(rows, [("d", "d"),
+                        ("paper_entries", "paper entries"),
+                        ("paper_width", "paper width"),
+                        ("ours_entries", "ours entries"),
+                        ("ours_width", "ours width"),
+                        ("ours_bits", "ours bits"),
+                        ("split_bits", "split bits"),
+                        ("blowup", "merged/split")],
+                 title="Merged decide_dir+decide_vc rule base "
+                       "(paper: 1024 * 2^d x (d+1+a) bits)")
+    save_report("merged_rulebase", text)
+
+    by = {r["d"]: r for r in rows}
+    # exponential law: entries double per added dimension, exactly like
+    # the paper's 2^d factor
+    for a, b in [(3, 4), (4, 5), (5, 6)]:
+        assert by[b]["ours_entries"] == 2 * by[a]["ours_entries"]
+    # the width grows roughly linearly in d (paper: d+1+a)
+    assert by[10]["ours_width"] > by[3]["ours_width"]
+    # the merged base is far larger than the split formulation and the
+    # gap explodes with d — the paper's argument for multiple steps
+    assert by[6]["blowup"] > 2
+    assert by[10]["blowup"] > by[6]["blowup"] > by[3]["blowup"]

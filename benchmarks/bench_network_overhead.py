@@ -1,0 +1,80 @@
+"""F4 — network-level fault-tolerance behaviour: graceful degradation
+of NAFTA and ROUTE_C versus their nft variants and the spanning-tree
+baseline.
+
+Shape claims: (a) fault-free, the ft algorithms match their nft
+variants; (b) under faults the ft algorithms keep delivering with
+moderately higher latency (graceful degradation) while the nft
+variants wedge or drop traffic; (c) the spanning tree survives faults
+but pays a large latency/throughput penalty even fault-free — the
+paper's argument for real fault-tolerant routing.
+"""
+
+from repro.experiments import (WorkloadSpec, mesh_fault_sweep, run_workload,
+                               save_report, table)
+from repro.sim import Mesh2D
+
+
+def run():
+    rows = []
+    # fault-free comparison incl. the spanning-tree baseline
+    for algo in ("nara", "nafta", "spanning_tree"):
+        spec = WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
+                            load=0.10, cycles=2500, warmup=500, seed=21)
+        res = run_workload(spec)
+        rows.append({"algorithm": algo, "faults": 0,
+                     "latency": res["mean_latency"],
+                     "hops": res["mean_hops"],
+                     "throughput": res["throughput_flits_node_cycle"],
+                     "stuck": res["messages_stuck"],
+                     "unroutable": res["messages_unroutable"],
+                     "misrouted": res["misrouted_fraction"]})
+    # fault sweep for NAFTA
+    for res in mesh_fault_sweep("nafta", [2, 4, 8], load=0.10,
+                                cycles=2500, warmup=500):
+        rows.append({"algorithm": "nafta", "faults": res["n_link_faults"],
+                     "latency": res["mean_latency"],
+                     "hops": res["mean_hops"],
+                     "throughput": res["throughput_flits_node_cycle"],
+                     "stuck": res["messages_stuck"],
+                     "unroutable": res["messages_unroutable"],
+                     "misrouted": res["misrouted_fraction"]})
+    # spanning tree under the same faults (the trivial ft baseline)
+    for res in mesh_fault_sweep("spanning_tree", [4], load=0.10,
+                                cycles=2500, warmup=500):
+        rows.append({"algorithm": "spanning_tree",
+                     "faults": res["n_link_faults"],
+                     "latency": res["mean_latency"],
+                     "hops": res["mean_hops"],
+                     "throughput": res["throughput_flits_node_cycle"],
+                     "stuck": res["messages_stuck"],
+                     "unroutable": res["messages_unroutable"],
+                     "misrouted": res["misrouted_fraction"]})
+    return rows
+
+
+def test_network_overhead(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(rows, [("algorithm", "algorithm"), ("faults", "link faults"),
+                        ("latency", "mean latency"), ("hops", "mean hops"),
+                        ("throughput", "throughput"), ("stuck", "stuck"),
+                        ("unroutable", "unroutable"),
+                        ("misrouted", "misrouted frac")],
+                 title="Network-level fault tolerance, 8x8 mesh, uniform "
+                       "0.10 flits/node/cycle")
+    save_report("network_overhead", text)
+
+    by = {(r["algorithm"], r["faults"]): r for r in rows}
+    # (a) fault-free: NAFTA == NARA within noise
+    assert abs(by[("nafta", 0)]["latency"] - by[("nara", 0)]["latency"]) \
+        < 0.10 * by[("nara", 0)]["latency"]
+    # (c) the spanning tree pays heavily even without faults
+    assert by[("spanning_tree", 0)]["hops"] > 1.3 * by[("nafta", 0)]["hops"]
+    assert by[("spanning_tree", 0)]["latency"] > \
+        1.3 * by[("nafta", 0)]["latency"]
+    # (b) graceful degradation: with 8 link faults NAFTA still delivers
+    # the offered traffic at bounded extra latency
+    r8 = by[("nafta", 8)]
+    assert r8["throughput"] > 0.8 * by[("nafta", 0)]["throughput"]
+    assert r8["latency"] < 3 * by[("nafta", 0)]["latency"]
+    assert r8["misrouted"] > 0  # detours actually happened

@@ -1,0 +1,75 @@
+"""Engineering benchmarks: wall-clock performance of the hot paths.
+
+Unlike the reproduction benchmarks (which regenerate the paper's tables
+and assert shapes), these time the substrate itself over multiple
+rounds so simulator/compiler performance regressions show up in the
+pytest-benchmark comparison output.
+"""
+
+import pytest
+
+from repro.core.compiler import compile_program
+from repro.routing import NaftaRouting, RouteCRouting
+from repro.routing.rulesets import ruleset_source
+from repro.sim import Hypercube, Mesh2D, Network, TrafficGenerator
+
+
+def simulate_mesh(cycles=300):
+    net = Network(Mesh2D(8, 8), NaftaRouting())
+    net.attach_traffic(TrafficGenerator(net.topology, "uniform", load=0.2,
+                                        message_length=4, seed=7))
+    net.run(cycles)
+    return net.stats.messages_delivered
+
+
+def simulate_cube(cycles=300):
+    net = Network(Hypercube(4), RouteCRouting())
+    net.attach_traffic(TrafficGenerator(net.topology, "uniform", load=0.2,
+                                        message_length=4, seed=7))
+    net.run(cycles)
+    return net.stats.messages_delivered
+
+
+def test_perf_mesh_simulation(benchmark):
+    delivered = benchmark.pedantic(simulate_mesh, rounds=3, iterations=1,
+                                   warmup_rounds=1)
+    assert delivered > 0
+
+
+def test_perf_cube_simulation(benchmark):
+    delivered = benchmark.pedantic(simulate_cube, rounds=3, iterations=1,
+                                   warmup_rounds=1)
+    assert delivered > 0
+
+
+def test_perf_compile_nafta(benchmark):
+    src = ruleset_source("nafta")
+    params = {"xsize": 16, "ysize": 16, "qmax": 63, "rmax": 15}
+    compiled = benchmark.pedantic(
+        lambda: compile_program(src, params=params),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert compiled.total_table_bits > 0
+
+
+def test_perf_rule_engine_decisions(benchmark):
+    from repro.routing.rulesets import load_ruleset
+    eng = load_ruleset("nafta")
+    inputs = {
+        "xpos": 2, "ypos": 3, "xdes": 6, "ydes": 7, "vnin": 1,
+        "termin": "false", "sdirin": 0, "fault_present": "false",
+        "freemask": {(0,): frozenset({0, 1, 2, 3}),
+                     (1,): frozenset({0, 1, 2, 3})},
+        "oq": {(0,): 5, (1,): 0, (2,): 2, (3,): 0},
+        "samecol": "false", "runok": "false", "mlen": 4,
+        "info_kind": "load_info", "info_val": 0, "fault_kind": 0,
+    }
+    eng.set_inputs(inputs)
+
+    def thousand_decisions():
+        for _ in range(1000):
+            eng.decide("incoming_message", 4, 1)
+        return eng.steps
+
+    steps = benchmark.pedantic(thousand_decisions, rounds=3, iterations=1,
+                               warmup_rounds=1)
+    assert steps >= 1000

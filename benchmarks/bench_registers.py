@@ -1,0 +1,70 @@
+"""E1/E2 — register accounting (paper Section 5).
+
+Paper: NAFTA needs 159 bits in 8 registers, of which 47 bits exist only
+for fault tolerance; ROUTE_C needs 15d + 2 log d + 3 bits in 9
+registers, 9d of which the nft variant needs too.  We regenerate the
+same accounting from our compiled rulesets: absolute bit counts are
+encoding-dependent, but the structure must match — a handful of
+registers, a considerable ft-only share for NAFTA, and linear-in-d
+growth with a linear-in-d nft share for ROUTE_C.
+"""
+
+from repro.experiments import PAPER, save_report, table
+from repro.hwcost import cost_report, render_registers
+
+
+def build():
+    nafta = cost_report("nafta")
+    route_c = {d: cost_report("route_c", {"d": d, "a": 2})
+               for d in (3, 4, 6, 8, 10)}
+    return nafta, route_c
+
+
+def test_register_accounting(benchmark):
+    nafta, route_c = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for d, rep in sorted(route_c.items()):
+        rows.append({
+            "d": d,
+            "paper_bits": PAPER["route_c_register_bits"](d),
+            "ours_bits": rep.total_register_bits,
+            "paper_nft": PAPER["route_c_register_bits_nft"](d),
+            "ours_nft": rep.total_register_bits - rep.ft_only_register_bits,
+            "registers": rep.register_count,
+        })
+    text = "\n\n".join([
+        render_registers(nafta),
+        f"(paper: {PAPER['nafta_register_bits']} bits in "
+        f"{PAPER['nafta_register_count']} registers, "
+        f"{PAPER['nafta_register_bits_ft_only']} bits ft-only)",
+        table(rows, [("d", "d"), ("paper_bits", "paper bits"),
+                     ("ours_bits", "ours bits"), ("paper_nft", "paper nft"),
+                     ("ours_nft", "ours nft"), ("registers", "# regs")],
+              title="ROUTE_C register bits vs hypercube dimension "
+                    "(paper: 15d + 2 log d + 3; nft: 9d)"),
+    ])
+    save_report("registers", text)
+
+    # NAFTA: a handful of registers with a considerable ft-only share
+    assert 4 <= nafta.register_count <= 12
+    frac_ours = nafta.ft_only_register_bits / nafta.total_register_bits
+    frac_paper = (PAPER["nafta_register_bits_ft_only"]
+                  / PAPER["nafta_register_bits"])
+    assert abs(frac_ours - frac_paper) < 0.35
+    # ROUTE_C: register bits grow linearly in d (ratio of increments
+    # roughly constant), like the paper's 15d + 2 log d + 3
+    d_list = sorted(route_c)
+    increments = [route_c[b].total_register_bits
+                  - route_c[a].total_register_bits
+                  for a, b in zip(d_list, d_list[1:])]
+    per_dim = [inc / (b - a) for inc, (a, b)
+               in zip(increments, zip(d_list, d_list[1:]))]
+    # linear growth up to the ceil(log d) width jumps of the counters
+    # (the paper's own formula has a 2 log d term)
+    assert all(inc > 0 for inc in increments)
+    assert max(per_dim) <= 2 * min(per_dim)
+    # and the nft (adaptivity) share grows linearly-ish in d, like 9d
+    nft_bits = {d: rep.total_register_bits - rep.ft_only_register_bits
+                for d, rep in route_c.items()}
+    assert 2 <= nft_bits[8] / nft_bits[4] <= 3

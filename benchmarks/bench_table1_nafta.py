@@ -1,0 +1,37 @@
+"""T1 — regenerate the paper's Table 1: the rule bases of NAFTA.
+
+For every rule base: compiled table size (entries x width), FCFB
+inventory, and whether the base is needed by the non-fault-tolerant
+variant (NARA).  Shape claims checked: the same rule-base inventory
+exists, the message-handling bases dominate the table memory, and the
+fault-tolerance-only bases account for a considerable share.
+"""
+
+from repro.experiments import PAPER_TABLE1, save_report
+from repro.hwcost import cost_report, render_table1
+
+
+def build_report():
+    return cost_report("nafta")
+
+
+def test_table1_nafta(benchmark):
+    report = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    text = render_table1(report)
+    save_report("table1_nafta", text)
+
+    ours = {r.name: r for r in report.rows}
+    # same rule-base inventory as the paper
+    assert set(ours) == set(PAPER_TABLE1)
+    # the nft marks match the paper's "*" column
+    for name, (_, _, _, _, nft) in PAPER_TABLE1.items():
+        assert ours[name].nft == nft, name
+    # the two message-decision bases dominate table memory, as in the
+    # paper (1024x8 and 256x7 are its two largest entries)
+    top2 = {r.name for r in report.rows[:2]}
+    assert "incoming_message" in top2 or "in_message_ft" in top2
+    # fault tolerance costs a considerable share of the rule tables
+    assert report.ft_overhead_fraction() > 0.3
+    # same order of magnitude as the paper's total
+    paper_total = sum(e * w for e, w, *_ in PAPER_TABLE1.values())
+    assert paper_total / 10 < report.total_table_bits < paper_total * 10

@@ -1,0 +1,93 @@
+"""Author your own routing algorithm in the rule DSL.
+
+This is the paper's core promise: "The description of a routing
+algorithm is compact and intuitive allowing even non-experts to
+understand and modify the network behavior."  We write a small
+west-first routing algorithm (a turn-model classic) as rules, compile
+it to a rule table + FCFB configuration, inspect the hardware cost, and
+execute decisions through both the table-based (RBR) interpreter and
+the reference AST interpreter.
+
+Run:  python examples/custom_rule_algorithm.py
+"""
+
+from repro.core import RuleEngine
+from repro.core.compiler import compile_program
+
+WEST_FIRST = """
+-- West-first routing on a 2-D mesh (Glass/Ni turn model):
+-- a message first makes all its westward moves, then routes fully
+-- adaptively among east/north/south.  Deadlock-free with 1 VC.
+
+CONSTANT dirs = {east, west, north, south, deliver}
+
+INPUT xpos IN 0 TO xsize - 1
+INPUT ypos IN 0 TO ysize - 1
+INPUT xdes IN 0 TO xsize - 1
+INPUT ydes IN 0 TO ysize - 1
+INPUT free(0 TO 3) IN bool        -- east, west, north, south
+INPUT load(0 TO 3) IN 0 TO 15
+
+ON decide() RETURNS dirs
+  IF xpos = xdes AND ypos = ydes
+  THEN RETURN(deliver);
+  -- west first, unconditionally
+  IF xpos > xdes
+  THEN RETURN(west);
+  -- then adaptive among the remaining minimal directions
+  IF xpos < xdes AND ypos = ydes
+  THEN RETURN(east);
+  IF xpos = xdes AND ypos < ydes
+  THEN RETURN(north);
+  IF xpos = xdes AND ypos > ydes
+  THEN RETURN(south);
+  IF xpos < xdes AND ypos < ydes AND load(0) <= load(2)
+  THEN RETURN(east);
+  IF xpos < xdes AND ypos < ydes AND load(0) > load(2)
+  THEN RETURN(north);
+  IF xpos < xdes AND ypos > ydes AND load(0) <= load(3)
+  THEN RETURN(east);
+  IF xpos < xdes AND ypos > ydes AND load(0) > load(3)
+  THEN RETURN(south);
+END decide;
+"""
+
+
+def main() -> None:
+    params = {"xsize": 8, "ysize": 8}
+
+    # 1. compile: the off-line "Rule Compiler"
+    compiled = compile_program(WEST_FIRST, params=params)
+    rb = compiled.rulebases["decide"]
+    print("compiled rule base:")
+    print(" ", rb.describe())
+    print(f"  table: {rb.n_entries} entries x {rb.width} bits "
+          f"= {rb.size_bits} bits of rule-table RAM")
+    print(f"  coverage: {rb.stats()}")
+
+    # 2. execute through the hardware model (RBR-kernel table lookup)
+    #    and the reference AST interpreter — they must agree
+    inputs = {
+        "xpos": 2, "ypos": 5, "xdes": 6, "ydes": 1,
+        "free": {(i,): "true" for i in range(4)},
+        "load": {(0,): 7, (1,): 0, (2,): 0, (3,): 2},
+    }
+    for mode in ("table", "ast"):
+        eng = RuleEngine(compiled, mode=mode)
+        eng.set_inputs(inputs)
+        decision = eng.decide("decide")
+        print(f"  {mode:5s} interpreter: message (2,5)->(6,1) goes "
+              f"{decision!r}")
+
+    # 3. sweep a few scenarios
+    eng = RuleEngine(compiled)
+    print("\nscenario sweep (south-east destination, load-adaptive):")
+    for east_load in (0, 5, 15):
+        eng.set_inputs({**inputs,
+                        "load": {(0,): east_load, (1,): 0, (2,): 0,
+                                 (3,): 2}})
+        print(f"  east queue={east_load:2d} -> {eng.decide('decide')}")
+
+
+if __name__ == "__main__":
+    main()

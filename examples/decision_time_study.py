@@ -1,0 +1,53 @@
+"""Why the rule interpreter must be hardware-fast.
+
+The paper (Section 4.3, citing [DLO97]) argues that software execution
+of routing algorithms "would limit the network performance drastically"
+and builds the ARON rule interpreter so that a decision costs one
+wiring + 2 x FCFB + one RAM access.  This study sweeps the cost of one
+interpretation step from 1 cycle (the hardware interpreter) up to 16
+(a microcoded/software router) and shows what that does to latency.
+
+Run:  python examples/decision_time_study.py
+"""
+
+from repro.core.interpreter import DelayModel
+from repro.experiments import decision_time_sweep
+from repro.sim import Mesh2D
+
+
+def main() -> None:
+    # the hardware delay model of the paper
+    d = DelayModel()
+    print("rule interpreter delay model "
+          "(wiring + 2 x FCFB + RAM access, Section 4.3):")
+    print(f"  one interpretation step: {d.step_ns():.1f} ns "
+          f"= {d.step_cycles()} router cycle(s) at {d.cycle_ns:.0f} ns")
+    print(f"  NAFTA worst case (3 steps): {d.decision_ns(3):.1f} ns")
+    print(f"  ROUTE_C (2 steps): {d.decision_ns(2):.1f} ns")
+    print(f"  pipelined (3 stages, clock = slowest stage "
+          f"{d.pipeline_stage_ns():.1f} ns): "
+          f"{d.pipelined_throughput_per_us():.0f} interpretations/us "
+          f"sustained\n")
+
+    print("network impact on an 8x8 mesh, NAFTA, uniform 0.15 "
+          "flits/node/cycle:")
+    print(f"  {'cycles/step':>12} {'mean latency':>14} {'p99':>8} "
+          f"{'throughput':>12}")
+    results = decision_time_sweep(
+        lambda: Mesh2D(8, 8), "nafta",
+        cycles_per_step_list=[1, 2, 4, 8, 16],
+        load=0.15, cycles=2200, warmup=500, seed=5)
+    base = results[0]["mean_latency"]
+    for r in results:
+        print(f"  {r['cycles_per_step']:>12} "
+              f"{r['mean_latency']:>14.1f} "
+              f"{r['p99_latency']:>8.0f} "
+              f"{r['throughput_flits_node_cycle']:>12.3f}")
+    slow = results[-1]["mean_latency"]
+    print(f"\na 16x slower decision multiplies mean latency by "
+          f"{slow / base:.1f} — the reason flexible routing needs the "
+          f"rule-based hardware interpreter instead of software.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Fault blocks and detours on a 2-D mesh, visualized.
+
+Demonstrates NAFTA's distributed fault knowledge: an L-shaped fault
+pattern is completed to a rectangular block (deactivating two healthy
+nodes — the paper's Condition-3 concession), and a message crossing the
+blocked row takes a clean detour around the block perimeter.
+
+Run:  python examples/mesh_fault_tolerance.py
+"""
+
+from repro.routing import NaftaRouting
+from repro.sim import FaultSchedule, Mesh2D, Network, SimConfig
+
+
+def draw_mesh(topo, fmap, trace=()):
+    """ASCII map: X faulty, o deactivated, * on the message path."""
+    trace = set(trace)
+    rows = []
+    for y in range(topo.height - 1, -1, -1):
+        cells = []
+        for x in range(topo.width):
+            n = topo.node_at(x, y)
+            st = fmap.state(n)
+            if st.faulty:
+                c = "X"
+            elif st.deactivated:
+                c = "o"
+            elif n in trace:
+                c = "*"
+            else:
+                c = "."
+            cells.append(c)
+        rows.append(f"  y={y}  " + " ".join(cells))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    topo = Mesh2D(8, 8)
+    net = Network(topo, NaftaRouting(), config=SimConfig(trace_paths=True))
+
+    # an L-shaped fault pattern: three dead nodes
+    faults = [(3, 3), (4, 4), (3, 5)]
+    net.schedule_faults(FaultSchedule.static(
+        nodes=[topo.node_at(*c) for c in faults]))
+
+    fmap = net.algorithm.fault_map
+    print("Fault pattern (X) and convex completion (o):")
+    print(draw_mesh(topo, fmap))
+    deact = [topo.coords(n) for n in fmap.blocked_nodes()
+             if not fmap.state(n).faulty]
+    print(f"\nhealthy nodes deactivated by the convex completion: {deact}")
+    print("(the paper: 'concave fault patterns are completed to a convex "
+          "shape\nexcluding the use of some non-faulty nodes, violating "
+          "condition 3')\n")
+
+    # a message that must cross the blocked rows
+    src = topo.node_at(0, 4)
+    dst = topo.node_at(7, 4)
+    msg = net.offer(src, dst, length=4)
+    assert msg is not None
+    net.run_until_drained()
+
+    trace = msg.header.fields["trace"]
+    print(f"message {topo.coords(src)} -> {topo.coords(dst)}:")
+    print(f"  delivered at cycle {msg.delivered}, "
+          f"{msg.hops} hops (minimal would be "
+          f"{topo.distance(src, dst) + 1}), "
+          f"misrouted={msg.header.misrouted}")
+    print(f"  path: {[topo.coords(n) for n in trace]}\n")
+    print("Path around the block (*):")
+    print(draw_mesh(topo, fmap, trace))
+
+    # messages to deactivated nodes are refused at the source
+    victim = topo.node_at(4, 3)
+    refused = net.offer(0, victim, 4)
+    print(f"\noffer to deactivated node {topo.coords(victim)}: "
+          f"{'refused' if refused is None else 'accepted'} "
+          f"(condition 3 traded for constant per-node state)")
+
+
+if __name__ == "__main__":
+    main()

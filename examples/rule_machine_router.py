@@ -1,0 +1,96 @@
+"""The full Figure-3 architecture, end to end.
+
+Every router in this network is controlled by the actual compiled
+``nafta.rules`` program: routing decisions chain the rule bases
+``incoming_message`` -> ``in_message_ft`` -> ``test_exception`` (the
+paper's 1..3 interpretation steps), and the distributed fault knowledge
+lives in each node engine's registers, maintained by the state rule
+bases exchanging neighbour events until the waves settle.
+
+The same messages are also routed by the native Python NAFTA for a
+side-by-side check — the rule machine and the hand-written algorithm
+are the same algorithm in two representations.
+
+Run:  python examples/rule_machine_router.py
+"""
+
+import time
+
+from repro.routing import NaftaRouting, RuleDrivenNafta
+from repro.sim import FaultSchedule, Mesh2D, Network, SimConfig
+
+
+def main() -> None:
+    topo = Mesh2D(6, 6)
+    faults = [(2, 2), (3, 3)]
+
+    print("6x6 mesh, fault pattern:", faults, "(diagonal pair -> the")
+    print("convex completion deactivates (2,3) and (3,2))\n")
+
+    algo = RuleDrivenNafta()
+    net = Network(topo, algo, config=SimConfig(trace_paths=True))
+    net.schedule_faults(FaultSchedule.static(
+        nodes=[topo.node_at(*c) for c in faults]))
+
+    # peek into one node engine's registers: this is the distributed
+    # state the rule bases maintain
+    probe = topo.node_at(2, 4)
+    eng = algo.engines[probe]
+    print(f"rule-machine registers at node (2,4):")
+    print(f"  mystate    = {eng.registers.read('mystate')}")
+    print(f"  usable_set = {sorted(eng.registers.read('usable_set'))} "
+          f"(ports: 0=E 1=W 2=N 3=S; south leads into the block)")
+    runs = [eng.registers.read("runc", (d,)) for d in range(4)]
+    print(f"  runc       = {runs}  (clear runs E/W/N/S)\n")
+
+    pairs = [((0, 2), (5, 2)), ((0, 4), (5, 0)), ((4, 0), (1, 5))]
+    print("decisions made by chained rule-base interpretation:")
+    for (sx, sy), (dx, dy) in pairs:
+        m = net.offer(topo.node_at(sx, sy), topo.node_at(dx, dy), 3)
+        net.run_until_drained()
+        trace = [topo.coords(n) for n in m.header.fields["trace"]]
+        print(f"  ({sx},{sy}) -> ({dx},{dy}): {m.hops} hops, "
+              f"misrouted={m.header.misrouted}")
+        print(f"    path {trace}")
+    print(f"  worst-case interpretation steps: "
+          f"{net.stats.max_decision_steps} (paper: NAFTA needs up to 3)\n")
+
+    # side-by-side with the native algorithm
+    print("differential check vs the native Python NAFTA:")
+    results = {}
+    timings = {}
+    for algo2 in (NaftaRouting(), RuleDrivenNafta()):
+        net2 = Network(Mesh2D(6, 6), algo2)
+        net2.schedule_faults(FaultSchedule.static(
+            nodes=[Mesh2D(6, 6).node_at(*c) for c in faults]))
+        t0 = time.perf_counter()
+        msgs = [net2.offer(s, d, 3)
+                for s in range(0, 36, 5) for d in (8, 27) if s != d]
+        net2.run_until_drained()
+        timings[algo2.name] = time.perf_counter() - t0
+        results[algo2.name] = [(m.hops, m.header.misrouted) if m else None
+                               for m in msgs]
+    clean = sum(1 for a, b in zip(results["nafta"], results["nafta_rules"])
+                if a and b and not a[1] and not b[1])
+    clean_match = all(a == b for a, b in zip(results["nafta"],
+                                             results["nafta_rules"])
+                      if a and b and not a[1] and not b[1])
+    detoured = [(a, b) for a, b in zip(results["nafta"],
+                                       results["nafta_rules"])
+                if a and b and (a[1] or b[1])]
+    print(f"  {clean} unaffected messages: identical hop counts = "
+          f"{clean_match}")
+    print(f"  {len(detoured)} fault-detoured messages: both delivered "
+          f"(detour tie-breaks may differ between the two "
+          f"representations): "
+          f"{[(a[0], b[0]) for a, b in detoured]}")
+    print(f"  native: {timings['nafta'] * 1e3:.0f} ms, rule machine: "
+          f"{timings['nafta_rules'] * 1e3:.0f} ms — the software model "
+          f"of the hardware interpreter is slower in Python, which is "
+          f"precisely why the paper builds it as hardware.")
+    assert clean_match
+    assert all(a[0] and b[0] for a, b in detoured)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: lets ``pip install -e .`` work in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+need it; the legacy path does not). All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

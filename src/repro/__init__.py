@@ -1,0 +1,35 @@
+"""repro — reproduction of "A Flexible Approach for a Fault-Tolerant
+Router" (Döring, Obelöer, Lustig, Maehle; IPPS 1998).
+
+Layers:
+
+* :mod:`repro.core` — the paper's contribution: a rule-based routing
+  DSL, its compiler to rule tables + FCFB configurations, and a
+  software model of the ARON hardware rule interpreter.
+* :mod:`repro.sim` — flit-level wormhole network simulator substrate
+  (topologies, virtual channels, credits, fail-stop faults, traffic).
+* :mod:`repro.routing` — NAFTA/NARA (2-D mesh) and ROUTE_C (hypercube)
+  plus oblivious and spanning-tree baselines, both as native Python
+  algorithms and as DSL rule programs.
+* :mod:`repro.analysis` — CDG deadlock checks and the paper's
+  Conditions 1-3.
+* :mod:`repro.hwcost` / :mod:`repro.experiments` — the evaluation:
+  Tables 1/2, register accounting, interpretation-step and
+  network-level overhead experiments.
+
+Quickstart::
+
+    from repro.sim import Mesh2D, Network, TrafficGenerator
+    from repro.routing import NaftaRouting
+
+    net = Network(Mesh2D(8, 8), NaftaRouting())
+    net.attach_traffic(TrafficGenerator(net.topology, "uniform", load=0.1))
+    net.run(2000)
+    print(net.stats.summary(net.topology.n_nodes))
+"""
+
+__version__ = "0.1.0"
+
+from .core import RuleEngine
+
+__all__ = ["RuleEngine", "__version__"]

@@ -1,0 +1,18 @@
+"""Analysis tools: channel-dependency-graph deadlock checks, the
+paper's Conditions 1-3, and reachability utilities."""
+
+from .conditions import (Condition1Result, ConditionPairStats,
+                         check_condition1, check_conditions_2_3)
+from .deadlock import CdgResult, Channel, build_cdg, check_deadlock_free
+from .livelock import (PathInflation, ProgressCertificate,
+                       certify_progress, nafta_bound, path_inflation)
+from .reachability import (connected_pairs, fraction_links_usable_by_tree,
+                           healthy_graph, partition_summary)
+
+__all__ = [
+    "Condition1Result", "ConditionPairStats", "check_condition1",
+    "check_conditions_2_3", "CdgResult", "Channel", "build_cdg", "check_deadlock_free", "connected_pairs",
+    "PathInflation", "ProgressCertificate", "certify_progress",
+    "nafta_bound", "path_inflation",
+    "fraction_links_usable_by_tree", "healthy_graph", "partition_summary",
+]

@@ -1,0 +1,129 @@
+"""Livelock analysis (paper Section 3, "Lifelock Avoidance").
+
+"To ensure delivery of all messages the path length has to be finite
+... link faults can cause messages to use diversions and the path for a
+message is prolonged."  The paper's remedy — marking misrouted messages
+and bounding them with a path-length counter in the header — is
+implemented by the routing algorithms; this module quantifies the
+result: the path-inflation distribution (hops taken vs minimal
+distance), the guard bound, and a progress certificate for a finished
+run (every accepted message either delivered within the bound or
+explicitly declared unroutable — nothing circulates forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.network import Network
+
+
+@dataclass
+class PathInflation:
+    """Distribution of hops / minimal-distance over delivered messages."""
+
+    samples: np.ndarray
+    bound: int | None
+
+    @property
+    def mean(self) -> float:
+        return float(self.samples.mean()) if self.samples.size else 1.0
+
+    @property
+    def max(self) -> float:
+        return float(self.samples.max()) if self.samples.size else 1.0
+
+    @property
+    def misrouted_share(self) -> float:
+        if not self.samples.size:
+            return 0.0
+        return float((self.samples > 1.0).mean())
+
+    def percentile(self, q: float) -> float:
+        if not self.samples.size:
+            return 1.0
+        return float(np.percentile(self.samples, q))
+
+    def summary(self) -> dict:
+        return {
+            "messages": int(self.samples.size),
+            "mean_inflation": self.mean,
+            "p99_inflation": self.percentile(99),
+            "max_inflation": self.max,
+            "misrouted_share": self.misrouted_share,
+            "bound": self.bound,
+        }
+
+
+def path_inflation(network: Network, bound: int | None = None
+                   ) -> PathInflation:
+    """Hops / minimal distance for every delivered, measured message.
+
+    ``hops`` counts the ejection hop too, so the minimal value of the
+    ratio is (distance + 1) / distance; we normalize it out by
+    comparing against distance + 1.
+    """
+    topo = network.topology
+    ratios = []
+    for msg in network.messages.values():
+        if msg.delivered is None:
+            continue
+        d = topo.distance(msg.header.src, msg.header.dst)
+        if d == 0:
+            continue
+        ratios.append(msg.hops / (d + 1))
+    return PathInflation(samples=np.asarray(ratios, dtype=float),
+                         bound=bound)
+
+
+@dataclass
+class ProgressCertificate:
+    """Outcome accounting proving the absence of livelock in a run."""
+
+    accepted: int
+    delivered: int
+    declared_unroutable: int
+    ripped_by_faults: int
+    in_flight: int
+    max_hops: int
+    bound: int | None
+
+    @property
+    def holds(self) -> bool:
+        closed = (self.delivered + self.declared_unroutable
+                  + self.ripped_by_faults == self.accepted)
+        drained = self.in_flight == 0
+        bounded = self.bound is None or self.max_hops <= self.bound
+        return closed and drained and bounded
+
+
+def certify_progress(network: Network,
+                     bound: int | None = None) -> ProgressCertificate:
+    """Check a *drained* network: every message accounted for, every
+    completed path within the livelock bound."""
+    delivered = 0
+    stuck = 0
+    ripped = 0
+    max_hops = 0
+    for msg in network.messages.values():
+        if msg.delivered is not None:
+            delivered += 1
+            max_hops = max(max_hops, msg.hops)
+        elif msg.header.fields.get("stuck"):
+            stuck += 1
+        elif msg.dropped:
+            ripped += 1
+    return ProgressCertificate(
+        accepted=len(network.messages), delivered=delivered,
+        declared_unroutable=stuck, ripped_by_faults=ripped,
+        in_flight=network.in_flight(), max_hops=max_hops, bound=bound)
+
+
+def nafta_bound(network: Network) -> int:
+    """The livelock guard NAFTA carries in its header counter."""
+    algo = network.algorithm
+    topo = network.topology
+    factor = getattr(algo, "livelock_factor", 4)
+    return factor * (topo.width + topo.height) + 16 + 2

@@ -1,0 +1,57 @@
+"""Graph-level reachability utilities over the healthy subnetwork."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..sim.faults import FaultState
+from ..sim.topology import Topology
+
+
+def healthy_graph(topology: Topology, faults: FaultState) -> nx.Graph:
+    """The subgraph of working nodes and links."""
+    g = nx.Graph()
+    for n in topology.nodes():
+        if faults.node_ok(n):
+            g.add_node(n)
+    for a, b in topology.links():
+        if faults.link_ok(a, b):
+            g.add_edge(a, b)
+    return g
+
+
+def connected_pairs(topology: Topology, faults: FaultState
+                    ) -> list[tuple[int, int]]:
+    """All ordered pairs (src, dst), src != dst, connected over healthy
+    links — the pairs Condition 3 makes claims about."""
+    g = healthy_graph(topology, faults)
+    out: list[tuple[int, int]] = []
+    for comp in nx.connected_components(g):
+        nodes = sorted(comp)
+        for s in nodes:
+            for d in nodes:
+                if s != d:
+                    out.append((s, d))
+    return out
+
+
+def partition_summary(topology: Topology, faults: FaultState) -> dict:
+    g = healthy_graph(topology, faults)
+    comps = sorted((len(c) for c in nx.connected_components(g)), reverse=True)
+    return {
+        "alive_nodes": g.number_of_nodes(),
+        "alive_links": g.number_of_edges(),
+        "components": len(comps),
+        "largest_component": comps[0] if comps else 0,
+    }
+
+
+def fraction_links_usable_by_tree(topology: Topology,
+                                  faults: FaultState) -> float:
+    """How small a fraction of links a spanning tree uses (the paper's
+    argument against the trivial fault-tolerant algorithm)."""
+    g = healthy_graph(topology, faults)
+    if g.number_of_edges() == 0:
+        return 0.0
+    tree_edges = g.number_of_nodes() - nx.number_connected_components(g)
+    return tree_edges / g.number_of_edges()

@@ -1,0 +1,11 @@
+"""Core of the reproduction: the paper's rule-based routing approach.
+
+Subpackages: :mod:`repro.core.dsl` (description language),
+:mod:`repro.core.compiler` (rule compiler), :mod:`repro.core.interpreter`
+(hardware rule-interpreter model).  :class:`repro.core.RuleEngine` is the
+facade routers and tests drive.
+"""
+
+from .engine import RuleEngine
+
+__all__ = ["RuleEngine"]

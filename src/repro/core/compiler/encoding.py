@@ -1,0 +1,175 @@
+"""Conclusion encoding: table word layout and width computation.
+
+The paper reports each rule base's table as ``entries x width`` (e.g.
+NAFTA's ``incoming_message`` is 1024 x 8).  The width is the number of
+bits one table entry needs to *control the conclusion processing*.  The
+paper does not specify the encoding; we use an explicit action-slot
+model and document it (DESIGN.md Section 3):
+
+* the commands of all (deduplicated) conclusions are merged by shape
+  into **action slots** — one slot per (command kind, head name,
+  occurrence index), e.g. "assign to neighb_state, 2nd occurrence" or
+  "emit send_newmessage, 1st occurrence";
+* each slot costs one **enable bit**, plus **selector bits**
+  ``ceil(log2(#variants))`` when the rules disagree on the command's
+  operand expressions;
+* a ``RETURN`` slot whose variants are all compile-time constants
+  stores the encoded value directly (``1 + bit_width(return domain)``),
+  otherwise a selector over the distinct return expressions.
+
+The resulting widths are implementation-defined but structurally
+comparable to the paper's: wide tables come from rule bases with many
+distinct actions, narrow tables from pure decision bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dsl import nodes as N
+from ..dsl.domains import Domain, bits_for
+from ..dsl.errors import CompileError
+from ..dsl.semantics import Analyzer
+from .atoms import try_const
+from .expand import GroundRule
+
+
+def command_head(cmd: N.Command) -> tuple[str, str]:
+    """(kind, head name) identifying a slot family."""
+    if isinstance(cmd, N.Assign):
+        tgt = cmd.target
+        name = tgt.ident if isinstance(tgt, (N.Name, N.Index)) else "?"
+        return ("assign", name)
+    if isinstance(cmd, N.Emit):
+        return ("emit", cmd.event)
+    if isinstance(cmd, N.Return):
+        return ("return", "")
+    if isinstance(cmd, N.CallSubbase):
+        return ("call", cmd.ident)
+    raise CompileError(f"unencodable command {cmd!r}",
+                       getattr(cmd, "line", 0))  # pragma: no cover
+
+
+@dataclass
+class Slot:
+    """One action slot of the conclusion-processing configuration."""
+
+    kind: str
+    head: str
+    occurrence: int
+    # each variant is a *macro*: the tuple of ground commands one
+    # configured unit executes (singleton for plain commands)
+    variants: list[tuple[N.Command, ...]] = field(default_factory=list)
+    return_domain: Domain | None = None
+    all_const_return: bool = False
+
+    def add_variant(self, cmds: tuple[N.Command, ...]) -> int:
+        for i, v in enumerate(self.variants):
+            if v == cmds:
+                return i
+        self.variants.append(cmds)
+        return len(self.variants) - 1
+
+    @property
+    def selector_bits(self) -> int:
+        if self.kind == "return":
+            if self.all_const_return and self.return_domain is not None:
+                return self.return_domain.bit_width
+            return bits_for(len(self.variants)) if len(self.variants) > 1 else 0
+        return bits_for(len(self.variants)) if len(self.variants) > 1 else 0
+
+    @property
+    def width(self) -> int:
+        return 1 + self.selector_bits  # enable bit + selector/value bits
+
+    def describe(self) -> str:
+        tag = f"{self.kind} {self.head}".strip()
+        if self.occurrence:
+            tag += f"#{self.occurrence}"
+        return f"{tag} ({self.width} bit)"
+
+
+@dataclass
+class ConclusionEncoding:
+    """Slot layout shared by all entries of one rule base's table."""
+
+    slots: list[Slot]
+    # per distinct conclusion: list of (slot index, variant index)
+    conclusion_words: list[list[tuple[int, int]]]
+    # ground-rule index -> distinct conclusion id
+    rule_conclusion: list[int]
+
+    @property
+    def width(self) -> int:
+        return max(1, sum(s.width for s in self.slots))
+
+
+def _macro_groups(g: GroundRule) -> list[tuple[str, str, tuple[N.Command, ...]]]:
+    """Group a ground conclusion's commands by origin: commands unrolled
+    from one quantified source command form one *macro* executed by a
+    single configured hardware unit (one slot), keeping the encoding
+    independent of the node degree (paper, Figure 4 discussion)."""
+    origins = g.origins if len(g.origins) == len(g.commands) else tuple(
+        range(len(g.commands)))
+    by_origin: dict[int, list[N.Command]] = {}
+    order: list[int] = []
+    for cmd, origin in zip(g.commands, origins):
+        if origin not in by_origin:
+            by_origin[origin] = []
+            order.append(origin)
+        by_origin[origin].append(cmd)
+    out = []
+    for origin in order:
+        cmds = tuple(by_origin[origin])
+        kind, head = command_head(cmds[0])
+        out.append((kind, head, cmds))
+    return out
+
+
+def build_encoding(analyzer: Analyzer, ground_rules: list[GroundRule],
+                   return_domain: Domain | None) -> ConclusionEncoding:
+    # Deduplicate conclusions (macro structure included).
+    distinct: list[list[tuple[str, str, tuple[N.Command, ...]]]] = []
+    rule_conclusion: list[int] = []
+    for g in ground_rules:
+        macros = _macro_groups(g)
+        try:
+            rule_conclusion.append(distinct.index(macros))
+        except ValueError:
+            distinct.append(macros)
+            rule_conclusion.append(len(distinct) - 1)
+
+    slots: dict[tuple[str, str, int], Slot] = {}
+    conclusion_words: list[list[tuple[int, int]]] = []
+    for macros in distinct:
+        occurrence: dict[tuple[str, str], int] = {}
+        resolved: list[tuple[int, int]] = []
+        for kind, head, cmds in macros:
+            occ = occurrence.get((kind, head), 0)
+            occurrence[(kind, head)] = occ + 1
+            key = (kind, head, occ)
+            slot = slots.get(key)
+            if slot is None:
+                slot = Slot(kind, head, occ)
+                if kind == "return":
+                    slot.return_domain = return_domain
+                slots[key] = slot
+            variant = slot.add_variant(cmds)
+            resolved.append((id(slot), variant))
+        conclusion_words.append(resolved)
+
+    slot_list = sorted(slots.values(), key=lambda s: (s.kind, s.head, s.occurrence))
+    slot_pos = {id(s): i for i, s in enumerate(slot_list)}
+    conclusion_words = [[(slot_pos[sid], var) for sid, var in word]
+                        for word in conclusion_words]
+
+    # Decide whether RETURN values can be stored directly.
+    for slot in slot_list:
+        if slot.kind == "return":
+            slot.all_const_return = all(
+                try_const(analyzer, v[0].value)[0]  # type: ignore[attr-defined]
+                for v in slot.variants)
+
+    return ConclusionEncoding(slots=slot_list,
+                              conclusion_words=conclusion_words,
+                              rule_conclusion=rule_conclusion)

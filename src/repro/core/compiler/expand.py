@@ -1,0 +1,348 @@
+"""Quantifier expansion and rule grounding.
+
+The rule interpreter hardware evaluates all premises in parallel over a
+fixed set of wires, so quantifiers — which the paper describes as "just
+a short form for propositional logic expressions in a regular pattern"
+(Section 4.2) — are expanded at compile time:
+
+* ``FORALL x IN S: P(x)``  becomes  ``AND_v [guard(v) IMPLIES P(v)]``
+* ``EXISTS x IN S: P(x)``  becomes  ``OR_v  [guard(v) AND P(v)]``
+
+where *v* ranges over the statically known candidate values of ``S``
+and ``guard(v)`` is a runtime membership test ``v IN S`` when ``S`` is a
+*computed* set (e.g. ``minimal(dx, dy)``), and absent otherwise.
+
+Witness extraction: the paper's NARA rule uses the EXISTS-bound
+variable inside the conclusion (``!send(indir, vc, i, vc)``).  The
+hardware realizes that with a priority selection; we realize it by
+splitting the rule into one ground rule per candidate value, in
+iteration order — the first applicable rule wins, so the witness is the
+least candidate satisfying the body, which is exactly what the
+reference AST interpreter computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dsl import nodes as N
+from ..dsl.domains import Value
+from ..dsl.errors import CompileError
+from ..dsl.semantics import Analyzer, BaseInfo, Binding, Scope
+
+
+def value_to_node(v: Value, line: int = 0) -> N.Expr:
+    """Literal AST node denoting a concrete value."""
+    if isinstance(v, bool):  # pragma: no cover - DSL has no bool ints
+        raise CompileError(f"unexpected bool literal {v}")
+    if isinstance(v, int):
+        if v < 0:
+            return N.UnOp(line=line, op="-", operand=N.Num(line=line, value=-v))
+        return N.Num(line=line, value=v)
+    if isinstance(v, str):
+        return N.Name(line=line, ident=v)
+    if isinstance(v, frozenset):
+        return N.SetLit(line=line,
+                        items=tuple(value_to_node(x, line) for x in sorted(
+                            v, key=lambda x: (isinstance(x, str), x))))
+    raise CompileError(f"cannot embed value {v!r} in an expression")
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A quantifier-free rule: premise over atoms, concrete commands.
+
+    ``origins`` aligns with ``commands``: commands unrolled from the
+    same quantified (FORALL) conclusion command share an origin id.
+    The conclusion encoding maps one origin to one action slot — the
+    hardware executes a quantified command with a single configured
+    unit, which is why the paper's Figure 4 rule base "is independent
+    of the node degree".
+    """
+
+    premise: N.Expr
+    commands: tuple[N.Command, ...]
+    source_index: int           # index of the originating source rule
+    witness: tuple[tuple[str, Value], ...] = ()
+    origins: tuple[int, ...] = ()
+    line: int = field(default=0, compare=False)
+
+
+class Expander:
+    """Grounds the rules of one rule base."""
+
+    def __init__(self, analyzer: Analyzer, base: BaseInfo):
+        self.analyzer = analyzer
+        self.base = base
+        self.scope = Scope(analyzer.analyzed,
+                           {n: Binding("param", d) for n, d in base.params})
+
+    # -- substitution ---------------------------------------------------
+
+    def subst(self, expr: N.Expr, env: dict[str, Value]) -> N.Expr:
+        if isinstance(expr, N.Num):
+            return expr
+        if isinstance(expr, N.Name):
+            if expr.ident in env:
+                return value_to_node(env[expr.ident], expr.line)
+            return expr
+        if isinstance(expr, N.Index):
+            return N.Index(line=expr.line, ident=expr.ident,
+                           args=tuple(self.subst(a, env) for a in expr.args))
+        if isinstance(expr, N.SetLit):
+            return N.SetLit(line=expr.line,
+                            items=tuple(self.subst(i, env) for i in expr.items))
+        if isinstance(expr, N.BinOp):
+            return N.BinOp(line=expr.line, op=expr.op,
+                           left=self.subst(expr.left, env),
+                           right=self.subst(expr.right, env))
+        if isinstance(expr, N.UnOp):
+            return N.UnOp(line=expr.line, op=expr.op,
+                          operand=self.subst(expr.operand, env))
+        if isinstance(expr, N.Compare):
+            return N.Compare(line=expr.line, op=expr.op,
+                             left=self.subst(expr.left, env),
+                             right=self.subst(expr.right, env))
+        if isinstance(expr, N.InSet):
+            return N.InSet(line=expr.line, item=self.subst(expr.item, env),
+                           collection=self.subst(expr.collection, env))
+        if isinstance(expr, N.And):
+            return N.And(line=expr.line,
+                         terms=tuple(self.subst(t, env) for t in expr.terms))
+        if isinstance(expr, N.Or):
+            return N.Or(line=expr.line,
+                        terms=tuple(self.subst(t, env) for t in expr.terms))
+        if isinstance(expr, N.Not):
+            return N.Not(line=expr.line, operand=self.subst(expr.operand, env))
+        if isinstance(expr, N.Quant):
+            inner = {k: v for k, v in env.items() if k != expr.var}
+            return N.Quant(line=expr.line, kind=expr.kind, var=expr.var,
+                           collection=self.subst(expr.collection, env),
+                           body=self.subst(expr.body, inner))
+        raise CompileError(f"cannot substitute into {expr!r}",
+                           getattr(expr, "line", 0))
+
+    # -- premise expansion ------------------------------------------------
+
+    def _quant_scope(self, env_vars: dict[str, Value]) -> Scope:
+        # For iteration-space resolution the concrete bound values do
+        # not matter, only domains do; params already cover free names.
+        extra = {}
+        for name, v in env_vars.items():
+            dom = self.analyzer._values_domain([v], 0)
+            extra[name] = Binding("param", dom)
+        return self.scope.child(extra) if extra else self.scope
+
+    def expand_premise(self, expr: N.Expr,
+                       env: dict[str, Value]) -> N.Expr:
+        """Return a quantifier-free premise (env already applied)."""
+        if isinstance(expr, N.Quant):
+            coll = self.subst(expr.collection, env)
+            values, needs_guard = self.analyzer.iteration_space(
+                coll, self._quant_scope(env))
+            terms: list[N.Expr] = []
+            for v in values:
+                inner_env = dict(env)
+                inner_env[expr.var] = v
+                body = self.expand_premise(expr.body, inner_env)
+                if needs_guard:
+                    guard = N.InSet(line=expr.line,
+                                    item=value_to_node(v, expr.line),
+                                    collection=coll)
+                    if expr.kind == "EXISTS":
+                        body = N.And(line=expr.line, terms=(guard, body))
+                    else:  # FORALL: guard IMPLIES body == NOT guard OR body
+                        body = N.Or(line=expr.line,
+                                    terms=(N.Not(line=expr.line, operand=guard),
+                                           body))
+                terms.append(body)
+            if not terms:
+                # empty iteration space: EXISTS is false, FORALL is true
+                const = "FORALL" == expr.kind
+                return _bool_const(const, expr.line)
+            if expr.kind == "EXISTS":
+                return N.Or(line=expr.line, terms=tuple(terms)) \
+                    if len(terms) > 1 else terms[0]
+            return N.And(line=expr.line, terms=tuple(terms)) \
+                if len(terms) > 1 else terms[0]
+        if isinstance(expr, N.And):
+            return N.And(line=expr.line, terms=tuple(
+                self.expand_premise(t, env) for t in expr.terms))
+        if isinstance(expr, N.Or):
+            return N.Or(line=expr.line, terms=tuple(
+                self.expand_premise(t, env) for t in expr.terms))
+        if isinstance(expr, N.Not):
+            return N.Not(line=expr.line,
+                         operand=self.expand_premise(expr.operand, env))
+        return self.subst(expr, env)
+
+    # -- command expansion ---------------------------------------------------
+
+    def expand_commands(self, commands: tuple[N.Command, ...],
+                        env: dict[str, Value],
+                        origin_map: dict[int, int] | None = None
+                        ) -> list[tuple[N.Command, int]]:
+        """Ground commands paired with their origin ids.  Commands
+        unrolled from the same source command (a quantified command's
+        body instance) share one origin — one action slot in hardware.
+        """
+        if origin_map is None:
+            origin_map = {}
+        out: list[tuple[N.Command, int]] = []
+        for cmd in commands:
+            origin = origin_map.setdefault(id(cmd), len(origin_map))
+            if isinstance(cmd, N.ForallCmd):
+                if not cmd.var:  # grouped commands without a quantifier
+                    out.extend(self.expand_commands(cmd.body, env, origin_map))
+                    continue
+                coll = self.subst(cmd.collection, env)
+                values, needs_guard = self.analyzer.iteration_space(
+                    coll, self._quant_scope(env))
+                if needs_guard:
+                    raise CompileError(
+                        "FORALL command over a runtime-computed set is not "
+                        "supported; iterate a constant, a type, or a literal "
+                        "set", cmd.line)
+                for v in values:
+                    inner = dict(env)
+                    inner[cmd.var] = v
+                    out.extend(self.expand_commands(cmd.body, inner,
+                                                    origin_map))
+            elif isinstance(cmd, N.Assign):
+                out.append((N.Assign(line=cmd.line,
+                                     target=self.subst(cmd.target, env),
+                                     value=self.subst(cmd.value, env)),
+                            origin))
+            elif isinstance(cmd, N.Emit):
+                out.append((N.Emit(line=cmd.line, event=cmd.event,
+                                   args=tuple(self.subst(a, env)
+                                              for a in cmd.args)), origin))
+            elif isinstance(cmd, N.Return):
+                out.append((N.Return(line=cmd.line,
+                                     value=self.subst(cmd.value, env)),
+                            origin))
+            elif isinstance(cmd, N.CallSubbase):
+                out.append((N.CallSubbase(line=cmd.line, ident=cmd.ident,
+                                          args=tuple(self.subst(a, env)
+                                                     for a in cmd.args)),
+                            origin))
+            else:  # pragma: no cover
+                raise CompileError(f"unknown command {cmd!r}", cmd.line)
+        return out
+
+    # -- rule expansion (witness splitting) ----------------------------------
+
+    def _conclusion_uses(self, commands: tuple[N.Command, ...],
+                         var: str) -> bool:
+        def expr_uses(e: N.Expr) -> bool:
+            if isinstance(e, N.Name):
+                return e.ident == var
+            if isinstance(e, N.Num):
+                return False
+            if isinstance(e, N.Index):
+                return any(expr_uses(a) for a in e.args)
+            if isinstance(e, N.SetLit):
+                return any(expr_uses(i) for i in e.items)
+            if isinstance(e, (N.BinOp, N.Compare)):
+                return expr_uses(e.left) or expr_uses(e.right)
+            if isinstance(e, N.UnOp):
+                return expr_uses(e.operand)
+            if isinstance(e, N.InSet):
+                return expr_uses(e.item) or expr_uses(e.collection)
+            if isinstance(e, (N.And, N.Or)):
+                return any(expr_uses(t) for t in e.terms)
+            if isinstance(e, N.Not):
+                return expr_uses(e.operand)
+            if isinstance(e, N.Quant):
+                if e.var == var:
+                    return expr_uses(e.collection)
+                return expr_uses(e.collection) or expr_uses(e.body)
+            return False
+
+        for cmd in commands:
+            if isinstance(cmd, N.Assign):
+                if expr_uses(cmd.target) or expr_uses(cmd.value):
+                    return True
+            elif isinstance(cmd, N.Emit):
+                if any(expr_uses(a) for a in cmd.args):
+                    return True
+            elif isinstance(cmd, N.Return):
+                if expr_uses(cmd.value):
+                    return True
+            elif isinstance(cmd, N.ForallCmd):
+                if cmd.var != var and (expr_uses(cmd.collection)
+                                       or self._conclusion_uses(cmd.body, var)):
+                    return True
+            elif isinstance(cmd, N.CallSubbase):
+                if any(expr_uses(a) for a in cmd.args):
+                    return True
+        return False
+
+    def expand_rule(self, rule: N.Rule, index: int) -> list[GroundRule]:
+        """Ground one source rule, splitting EXISTS witnesses."""
+        return self._expand_rule(rule.premise, rule.conclusion, index,
+                                 {}, (), rule.line)
+
+    def _expand_rule(self, premise: N.Expr, conclusion: tuple[N.Command, ...],
+                     index: int, env: dict[str, Value],
+                     witness: tuple[tuple[str, Value], ...],
+                     line: int) -> list[GroundRule]:
+        # Witness splitting applies only to a top-level EXISTS whose
+        # variable is referenced by the conclusion.
+        if (isinstance(premise, N.Quant) and premise.kind == "EXISTS"
+                and self._conclusion_uses(conclusion, premise.var)):
+            coll = self.subst(premise.collection, env)
+            values, needs_guard = self.analyzer.iteration_space(
+                coll, self._quant_scope(env))
+            out: list[GroundRule] = []
+            for v in values:
+                inner = dict(env)
+                inner[premise.var] = v
+                body = premise.body
+                if needs_guard:
+                    guard = N.InSet(line=premise.line,
+                                    item=value_to_node(v, premise.line),
+                                    collection=coll)
+                    body = N.And(line=premise.line, terms=(guard, body))
+                out.extend(self._expand_rule(
+                    body, conclusion, index, inner,
+                    witness + ((premise.var, v),), line))
+            return out
+        ground_premise = self.expand_premise(premise, env)
+        pairs = self.expand_commands(conclusion, env)
+        if self._has_quant(ground_premise):
+            raise CompileError("internal: quantifier survived expansion", line)
+        return [GroundRule(premise=ground_premise,
+                           commands=tuple(c for c, _ in pairs),
+                           source_index=index, witness=witness,
+                           origins=tuple(o for _, o in pairs), line=line)]
+
+    @staticmethod
+    def _has_quant(expr: N.Expr) -> bool:
+        if isinstance(expr, N.Quant):
+            return True
+        if isinstance(expr, (N.And, N.Or)):
+            return any(Expander._has_quant(t) for t in expr.terms)
+        if isinstance(expr, N.Not):
+            return Expander._has_quant(expr.operand)
+        return False
+
+    def expand(self) -> list[GroundRule]:
+        out: list[GroundRule] = []
+        for i, rule in enumerate(self.base.rules):
+            out.extend(self.expand_rule(rule, i))
+        return out
+
+
+def _bool_const(value: bool, line: int) -> N.Expr:
+    """A premise that is constantly true/false, as a trivial comparison."""
+    if value:
+        return N.Compare(line=line, op="=", left=N.Num(line=line, value=0),
+                         right=N.Num(line=line, value=0))
+    return N.Compare(line=line, op="=", left=N.Num(line=line, value=0),
+                     right=N.Num(line=line, value=1))
+
+
+def expand_base(analyzer: Analyzer, base: BaseInfo) -> list[GroundRule]:
+    """Ground all rules of a rule base."""
+    return Expander(analyzer, base).expand()

@@ -1,0 +1,167 @@
+"""Configuration-data export: the Rule Compiler's output artefact.
+
+Paper Section 4.2: "An appropriate tool ('Rule Compiler') generates the
+configuration data by translation."  This module serializes a compiled
+rule base into the configuration bitstream a hardware rule interpreter
+would be loaded with:
+
+* the index plan (which signals wire into the table address, in which
+  order, with which widths — the Input/Premise Configuration of
+  Figure 6);
+* the rule table itself, as per-entry conclusion control words laid out
+  by the action-slot encoding (the RBR-kernel's RAM contents);
+* the FCFB allocation (which block kinds must exist — the pool of
+  Figure 6);
+* the register file layout.
+
+The export is a plain JSON-able dict plus a packed little-endian
+bitstream of the table; ``import_check`` round-trips the table words to
+guard against encoding drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from ..dsl.errors import CompileError
+from .atoms import BitFeature, DirectFeature
+from .compile import CompiledProgram, CompiledRuleBase
+from .tablegen import NO_RULE
+
+
+def _expr_text(expr) -> str:
+    """Compact, stable rendering of a ground expression."""
+    from ..dsl import nodes as N
+    if isinstance(expr, N.Num):
+        return str(expr.value)
+    if isinstance(expr, N.Name):
+        return expr.ident
+    if isinstance(expr, N.Index):
+        return f"{expr.ident}({', '.join(_expr_text(a) for a in expr.args)})"
+    if isinstance(expr, N.SetLit):
+        return "{" + ", ".join(_expr_text(i) for i in expr.items) + "}"
+    if isinstance(expr, N.BinOp):
+        return f"({_expr_text(expr.left)} {expr.op} {_expr_text(expr.right)})"
+    if isinstance(expr, N.UnOp):
+        return f"(-{_expr_text(expr.operand)})"
+    if isinstance(expr, N.Compare):
+        return f"({_expr_text(expr.left)} {expr.op} {_expr_text(expr.right)})"
+    if isinstance(expr, N.InSet):
+        return f"({_expr_text(expr.item)} IN {_expr_text(expr.collection)})"
+    if isinstance(expr, N.And):
+        return "(" + " AND ".join(_expr_text(t) for t in expr.terms) + ")"
+    if isinstance(expr, N.Or):
+        return "(" + " OR ".join(_expr_text(t) for t in expr.terms) + ")"
+    if isinstance(expr, N.Not):
+        return f"(NOT {_expr_text(expr.operand)})"
+    return repr(expr)
+
+
+def table_words(rb: CompiledRuleBase) -> list[int]:
+    """One conclusion control word per table entry.
+
+    Word layout (LSB first): for each slot, an enable bit followed by
+    its selector bits.  Gap entries are all-zeros (every slot
+    disabled).
+    """
+    if rb.table is None:
+        raise CompileError(f"rule base {rb.name} has no materialized table")
+    enc = rb.encoding
+    words: list[int] = []
+    for entry in rb.table:
+        entry = int(entry)
+        if entry == NO_RULE:
+            words.append(0)
+            continue
+        concl = enc.rule_conclusion[entry]
+        active = dict(enc.conclusion_words[concl])
+        word = 0
+        pos = 0
+        for slot_idx, slot in enumerate(enc.slots):
+            if slot_idx in active:
+                word |= 1 << pos
+                variant = active[slot_idx]
+                word |= variant << (pos + 1)
+            pos += slot.width
+        words.append(word)
+    return words
+
+
+def pack_bitstream(words: list[int], width: int) -> bytes:
+    """Concatenate width-bit words LSB-first into a byte string."""
+    total = 0
+    for i, w in enumerate(words):
+        if w >> width:
+            raise CompileError(f"table word {i} overflows {width} bits")
+        total |= w << (i * width)
+    n_bytes = (len(words) * width + 7) // 8
+    return total.to_bytes(max(1, n_bytes), "little")
+
+
+def unpack_bitstream(blob: bytes, width: int, n_words: int) -> list[int]:
+    total = int.from_bytes(blob, "little")
+    mask = (1 << width) - 1
+    return [(total >> (i * width)) & mask for i in range(n_words)]
+
+
+def export_rulebase(rb: CompiledRuleBase) -> dict:
+    """The configuration record of one rule base."""
+    index_plan = []
+    for f in rb.analysis.features:
+        if isinstance(f, DirectFeature):
+            index_plan.append({
+                "kind": "direct",
+                "signal": _expr_text(f.signal),
+                "values": f.size,
+                "bits": f.domain.bit_width,
+            })
+        else:
+            assert isinstance(f, BitFeature)
+            index_plan.append({
+                "kind": "bit",
+                "atom": _expr_text(f.atom),
+                "fcfb": f.fcfb,
+            })
+    slots = [{
+        "kind": s.kind, "head": s.head, "occurrence": s.occurrence,
+        "variants": len(s.variants), "width": s.width,
+    } for s in rb.encoding.slots]
+    words = table_words(rb)
+    return {
+        "name": rb.name,
+        "params": [(n, str(d)) for n, d in rb.params],
+        "returns": str(rb.returns) if rb.returns else None,
+        "entries": rb.n_entries,
+        "width": rb.width,
+        "size_bits": rb.size_bits,
+        "index_plan": index_plan,
+        "slots": slots,
+        "fcfbs": rb.fcfb_kinds,
+        "table": pack_bitstream(words, max(1, rb.width)).hex(),
+        "table_words": len(words),
+    }
+
+
+def export_program(compiled: CompiledProgram) -> dict:
+    """Full configuration data for a rule interpreter complex."""
+    return {
+        "params": {k: v for k, v in compiled.params.items()},
+        "registers": [
+            {"name": r["name"], "bits": r["bits"], "cells": r["cells"]}
+            for r in compiled.register_report()],
+        "rulebases": {name: export_rulebase(rb)
+                      for name, rb in compiled.rulebases.items()},
+        "subbases": {name: export_rulebase(rb)
+                     for name, rb in compiled.subbases.items()},
+        "total_table_bits": compiled.total_table_bits,
+        "total_register_bits": compiled.register_bits(),
+    }
+
+
+def import_check(record: dict, rb: CompiledRuleBase) -> bool:
+    """Round-trip guard: the packed bitstream decodes to the same
+    per-entry control words the encoder produced."""
+    blob = bytes.fromhex(record["table"])
+    words = unpack_bitstream(blob, max(1, record["width"]),
+                             record["table_words"])
+    return words == table_words(rb)

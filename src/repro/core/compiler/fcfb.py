@@ -1,0 +1,186 @@
+"""FCFB (Free Configurable Function Block) extraction.
+
+The rule interpreter shares a pool of configurable function units
+between premise processing and conclusion processing (paper Figure 6:
+"it is suggesting to use a common pool of resources for their
+computation").  This pass inventories the FCFB instances one rule base
+needs, using the paper's own vocabulary where Tables 1/2 use it:
+magnitude comparator, minimum selection, mesh distance computation,
+membership testing, logical unit, set subtraction, set union,
+incrementor, decrementor, adder, computation in a finite lattice,
+compare with constant, conditional increment.
+
+Instances are deduplicated structurally: the same expression appearing
+in several rules (or in both a premise and a conclusion) maps to one
+shared block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl import nodes as N
+from ..dsl.errors import CompileError
+from ..dsl.semantics import Analyzer
+from .atoms import AtomAnalysis, BitFeature, try_const
+from .expand import GroundRule
+
+
+@dataclass(frozen=True)
+class FcfbInstance:
+    kind: str
+    expr: N.Expr   # the expression (or atom) this block computes
+
+
+class FcfbCollector:
+    def __init__(self, analyzer: Analyzer):
+        self.analyzer = analyzer
+        self.instances: dict[tuple[str, N.Expr], FcfbInstance] = {}
+
+    def add(self, kind: str, expr: N.Expr) -> None:
+        key = (kind, expr)
+        if key not in self.instances:
+            self.instances[key] = FcfbInstance(kind, expr)
+
+    # -- expression walking ------------------------------------------------
+
+    def visit_value_expr(self, expr: N.Expr, conditional: bool = False) -> None:
+        """Record the FCFBs needed to compute a value expression."""
+        if isinstance(expr, (N.Num, N.Name)):
+            return
+        if isinstance(expr, N.Index):
+            fn = self.analyzer.analyzed.functions.get(expr.ident)
+            if fn is not None:
+                self.add(fn.fcfb or "function unit", expr)
+            sb = self.analyzer.analyzed.subbases.get(expr.ident)
+            if sb is not None:
+                self.add("subbase lookup", expr)
+            for a in expr.args:
+                self.visit_value_expr(a)
+            return
+        if isinstance(expr, N.SetLit):
+            for i in expr.items:
+                self.visit_value_expr(i)
+            return
+        if isinstance(expr, N.UnOp):
+            self.visit_value_expr(expr.operand)
+            return
+        if isinstance(expr, N.BinOp):
+            if not try_const(self.analyzer, expr)[0]:
+                self.add(self._binop_kind(expr, conditional), expr)
+            self.visit_value_expr(expr.left)
+            self.visit_value_expr(expr.right)
+            return
+        if isinstance(expr, (N.Compare, N.InSet, N.And, N.Or, N.Not)):
+            self.visit_bool_expr(expr)
+            return
+        raise CompileError(f"unhandled expression {expr!r}",
+                           getattr(expr, "line", 0))  # pragma: no cover
+
+    def _binop_kind(self, expr: N.BinOp, conditional: bool) -> str:
+        lc, lv = try_const(self.analyzer, expr.left)
+        rc, rv = try_const(self.analyzer, expr.right)
+        const_one = (lc and lv == 1) or (rc and rv == 1)
+        if expr.op == "+":
+            if const_one:
+                return "conditional increment" if conditional else "incrementor"
+            return "adder"
+        if expr.op == "-":
+            if rc and rv == 1:
+                return "decrementor"
+            return "subtractor"
+        if expr.op == "*":
+            return "multiplier"
+        if expr.op == "MOD":
+            return "modulo unit"
+        if expr.op == "UNION":
+            return "set union"
+        if expr.op == "DIFF":
+            return "set subtraction"
+        if expr.op == "INTER":
+            return "set intersection"
+        raise CompileError(f"unknown operator {expr.op}", expr.line)
+
+    def visit_bool_expr(self, expr: N.Expr) -> None:
+        """Boolean expressions inside conclusions (rare) or function args."""
+        if isinstance(expr, (N.And, N.Or, N.Not)):
+            self.add("logical unit", expr)
+            terms = expr.terms if isinstance(expr, (N.And, N.Or)) else (expr.operand,)
+            for t in terms:
+                self.visit_bool_expr(t)
+            return
+        if isinstance(expr, N.Compare):
+            lc, _ = try_const(self.analyzer, expr.left)
+            rc, _ = try_const(self.analyzer, expr.right)
+            if not (lc and rc):
+                if lc or rc:
+                    self.add("compare with constant", expr)
+                elif expr.op in ("<", "<=", ">", ">="):
+                    self.add("magnitude comparator", expr)
+                else:
+                    self.add("equality comparator", expr)
+            self.visit_value_expr(expr.left)
+            self.visit_value_expr(expr.right)
+            return
+        if isinstance(expr, N.InSet):
+            self.add("membership testing", expr)
+            self.visit_value_expr(expr.item)
+            self.visit_value_expr(expr.collection)
+            return
+        self.visit_value_expr(expr)
+
+
+def collect_fcfbs(analyzer: Analyzer, analysis: AtomAnalysis,
+                  ground_rules: list[GroundRule]) -> list[FcfbInstance]:
+    """Inventory the FCFB pool of one rule base."""
+    col = FcfbCollector(analyzer)
+
+    # Premise side: one block per bit feature, plus the function units
+    # computing any function-call signal (direct signals computed by a
+    # function still need that function's block to produce the value
+    # that feeds the index).
+    for feat in analysis.features:
+        if isinstance(feat, BitFeature):
+            info = analysis.atoms[feat.atom]
+            col.add(feat.fcfb, feat.atom)
+            for sig in info.signals:
+                col.visit_value_expr(sig)
+        else:
+            col.visit_value_expr(feat.signal)
+
+    # Conclusion side.
+    for g in ground_rules:
+        for cmd in g.commands:
+            if isinstance(cmd, N.Assign):
+                conditional = _is_self_increment(cmd)
+                col.visit_value_expr(cmd.value, conditional=conditional)
+                if isinstance(cmd.target, N.Index):
+                    for a in cmd.target.args:
+                        col.visit_value_expr(a)
+            elif isinstance(cmd, N.Emit):
+                for a in cmd.args:
+                    col.visit_value_expr(a)
+            elif isinstance(cmd, N.Return):
+                col.visit_value_expr(cmd.value)
+            elif isinstance(cmd, N.CallSubbase):
+                col.add("subbase lookup", N.Index(ident=cmd.ident, args=cmd.args))
+                for a in cmd.args:
+                    col.visit_value_expr(a)
+    return list(col.instances.values())
+
+
+def _is_self_increment(cmd: N.Assign) -> bool:
+    """``x <- x + 1`` style updates: the paper notes these become
+    *conditional increments* because only some rules count up."""
+    v = cmd.value
+    if not isinstance(v, N.BinOp) or v.op not in ("+", "-"):
+        return False
+    return v.left == cmd.target or v.right == cmd.target
+
+
+def fcfb_summary(instances: list[FcfbInstance]) -> dict[str, int]:
+    """kind -> number of instances, for Table 1/2-style reporting."""
+    out: dict[str, int] = {}
+    for inst in instances:
+        out[inst.kind] = out.get(inst.kind, 0) + 1
+    return dict(sorted(out.items()))

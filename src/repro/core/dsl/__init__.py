@@ -1,0 +1,27 @@
+"""Rule DSL front end: lexer, parser, AST, domains, semantic analysis.
+
+This is the description language of the paper's Section 4.2: rules of
+the form ``IF <premise> THEN <conclusion>`` with finite-domain typed
+variables, indexed accesses, quantifiers, events and subbases.
+"""
+
+from .domains import (BOOL, Domain, IntRange, SetDomain, SymbolDomain,
+                      UnionDomain, Value, bits_for, bool_value, is_true)
+from .errors import (CompileError, DslError, EvalError, LexError, ParseError,
+                     SemanticError)
+from .lexer import Token, tokenize
+from .parser import parse
+from .semantics import (AnalyzedProgram, Analyzer, BaseInfo, Binding,
+                        EventInfo, FunctionInfo, InputInfo, Scope, VarInfo,
+                        analyze, analyze_source)
+
+__all__ = [
+    "BOOL", "Domain", "IntRange", "SetDomain", "SymbolDomain", "UnionDomain",
+    "Value", "bits_for", "bool_value", "is_true",
+    "CompileError", "DslError", "EvalError", "LexError", "ParseError",
+    "SemanticError",
+    "Token", "tokenize", "parse",
+    "AnalyzedProgram", "Analyzer", "BaseInfo", "Binding", "EventInfo",
+    "FunctionInfo", "InputInfo", "Scope", "VarInfo", "analyze",
+    "analyze_source",
+]

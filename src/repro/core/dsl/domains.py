@@ -1,0 +1,236 @@
+"""Finite value domains for the rule DSL.
+
+The paper restricts DSL data types to "integers within finite ranges,
+discrete symbols, the union of these two, and subsets of these"
+(Section 4.2).  Each domain knows how to enumerate its values, how many
+bits a hardware register holding one value needs, and how to encode a
+value as a dense integer (used when a raw value feeds the rule-table
+index directly, cf. Section 4.3: "their current values are used as part
+of the table index directly").
+
+Values are plain Python objects: ``int`` for integers, ``str`` for
+symbols, ``frozenset`` for subset-domain values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .errors import SemanticError
+
+Value = int | str | frozenset
+
+
+def bits_for(n_values: int) -> int:
+    """Number of bits needed to distinguish ``n_values`` values.
+
+    A domain with a single value still occupies one bit in our register
+    accounting (a wire must exist), matching conservative hardware cost.
+    """
+    if n_values <= 1:
+        return 1
+    return (n_values - 1).bit_length()
+
+
+class Domain:
+    """Abstract finite domain of values."""
+
+    def values(self) -> Iterator[Value]:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def contains(self, value: Value) -> bool:
+        raise NotImplementedError
+
+    @property
+    def bit_width(self) -> int:
+        return bits_for(self.size)
+
+    def encode(self, value: Value) -> int:
+        """Dense index of ``value`` within the domain enumeration."""
+        raise NotImplementedError
+
+    def decode(self, code: int) -> Value:
+        raise NotImplementedError
+
+    def default(self) -> Value:
+        """Reset value of a register with this domain."""
+        return next(iter(self.values()))
+
+    def check(self, value: Value, what: str = "value") -> Value:
+        if not self.contains(value):
+            raise SemanticError(f"{what} {value!r} is outside domain {self}")
+        return value
+
+
+@dataclass(frozen=True)
+class IntRange(Domain):
+    """Integers in the closed interval [lo, hi]."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.hi < self.lo:
+            raise SemanticError(f"empty integer range {self.lo} TO {self.hi}")
+
+    def values(self) -> Iterator[int]:
+        return iter(range(self.lo, self.hi + 1))
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo + 1
+
+    def contains(self, value: Value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool) and self.lo <= value <= self.hi
+
+    def encode(self, value: Value) -> int:
+        self.check(value)
+        return int(value) - self.lo
+
+    def decode(self, code: int) -> int:
+        if not 0 <= code < self.size:
+            raise SemanticError(f"code {code} out of range for {self}")
+        return self.lo + code
+
+    def __str__(self) -> str:
+        return f"{self.lo} TO {self.hi}"
+
+
+@dataclass(frozen=True)
+class SymbolDomain(Domain):
+    """A finite set of named discrete symbols, e.g. fault states."""
+
+    symbols: tuple[str, ...]
+    name: str | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if len(set(self.symbols)) != len(self.symbols):
+            raise SemanticError(f"duplicate symbol in {{{', '.join(self.symbols)}}}")
+        if not self.symbols:
+            raise SemanticError("empty symbol domain")
+
+    def values(self) -> Iterator[str]:
+        return iter(self.symbols)
+
+    @property
+    def size(self) -> int:
+        return len(self.symbols)
+
+    def contains(self, value: Value) -> bool:
+        return isinstance(value, str) and value in self.symbols
+
+    def encode(self, value: Value) -> int:
+        self.check(value)
+        return self.symbols.index(value)  # type: ignore[arg-type]
+
+    def decode(self, code: int) -> str:
+        return self.symbols[code]
+
+    def __str__(self) -> str:
+        if self.name:
+            return self.name
+        return "{" + ", ".join(self.symbols) + "}"
+
+
+@dataclass(frozen=True)
+class UnionDomain(Domain):
+    """Union of an integer range and a symbol set (paper Section 4.2)."""
+
+    parts: tuple[Domain, ...]
+
+    def __post_init__(self):
+        seen: set[Value] = set()
+        for p in self.parts:
+            for v in p.values():
+                if v in seen:
+                    raise SemanticError(f"value {v!r} occurs in several union parts")
+                seen.add(v)
+
+    def values(self) -> Iterator[Value]:
+        for p in self.parts:
+            yield from p.values()
+
+    @property
+    def size(self) -> int:
+        return sum(p.size for p in self.parts)
+
+    def contains(self, value: Value) -> bool:
+        return any(p.contains(value) for p in self.parts)
+
+    def encode(self, value: Value) -> int:
+        offset = 0
+        for p in self.parts:
+            if p.contains(value):
+                return offset + p.encode(value)
+            offset += p.size
+        raise SemanticError(f"value {value!r} outside union domain {self}")
+
+    def decode(self, code: int) -> Value:
+        for p in self.parts:
+            if code < p.size:
+                return p.decode(code)
+            code -= p.size
+        raise SemanticError(f"code out of range for {self}")
+
+    def __str__(self) -> str:
+        return " UNION ".join(str(p) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class SetDomain(Domain):
+    """Subsets of a base domain; values are ``frozenset`` objects.
+
+    A hardware register holding such a value is one bit per base value
+    (a bit vector), hence ``bit_width == base.size``.
+    """
+
+    base: Domain
+
+    def values(self) -> Iterator[frozenset]:
+        base_vals = list(self.base.values())
+        for mask in range(1 << len(base_vals)):
+            yield frozenset(v for i, v in enumerate(base_vals) if mask >> i & 1)
+
+    @property
+    def size(self) -> int:
+        return 1 << self.base.size
+
+    def contains(self, value: Value) -> bool:
+        return isinstance(value, frozenset) and all(self.base.contains(v) for v in value)
+
+    @property
+    def bit_width(self) -> int:
+        return self.base.size
+
+    def encode(self, value: Value) -> int:
+        self.check(value)
+        mask = 0
+        for i, v in enumerate(self.base.values()):
+            if v in value:  # type: ignore[operator]
+                mask |= 1 << i
+        return mask
+
+    def decode(self, code: int) -> frozenset:
+        return frozenset(v for i, v in enumerate(self.base.values()) if code >> i & 1)
+
+    def default(self) -> frozenset:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"SET OF {self.base}"
+
+
+BOOL = SymbolDomain(("false", "true"), name="bool")
+
+
+def bool_value(b: bool) -> str:
+    return "true" if b else "false"
+
+
+def is_true(v: Value) -> bool:
+    return v == "true"

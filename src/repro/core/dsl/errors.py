@@ -1,0 +1,47 @@
+"""Error types for the rule-based routing DSL.
+
+All DSL-facing errors carry a source location (line, column) when one is
+available so that rule authors get actionable diagnostics, mirroring the
+"Rule Compiler" tool the paper assumes (Section 4.2).
+"""
+
+from __future__ import annotations
+
+
+class DslError(Exception):
+    """Base class for every error raised by the DSL front end."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is None:
+            return self.message
+        if self.col is None:
+            return f"line {self.line}: {self.message}"
+        return f"line {self.line}, col {self.col}: {self.message}"
+
+
+class LexError(DslError):
+    """Raised when the tokenizer meets a character it cannot interpret."""
+
+
+class ParseError(DslError):
+    """Raised when the token stream does not follow the rule grammar."""
+
+
+class SemanticError(DslError):
+    """Raised by semantic analysis: unknown names, type mismatches,
+    out-of-domain constants, arity errors, and similar."""
+
+
+class CompileError(DslError):
+    """Raised by the rule compiler proper (table generation, encoding)."""
+
+
+class EvalError(DslError):
+    """Raised at interpretation time: out-of-domain assignment, missing
+    input, or an event with no matching rule base."""

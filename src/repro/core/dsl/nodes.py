@@ -1,0 +1,325 @@
+"""AST node definitions for the rule DSL.
+
+The grammar follows the constructs shown in the paper (Section 4.2):
+typed constants and variables, indexed data accesses, quantifiers,
+subbases, events, and rules of the form ``IF <premise> THEN
+<conclusion>;`` grouped into event-triggered rule bases
+(``ON <event>(<params>) ... END <event>;``).
+
+All nodes are immutable dataclasses carrying a source line for
+diagnostics.  Expression nodes double as premise nodes; semantic
+analysis distinguishes boolean from value expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Type expressions (syntactic; resolved to domains.Domain in semantics)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class RangeType(TypeExpr):
+    """``<lo> TO <hi>``; bounds are expressions over constants/params."""
+
+    lo: "Expr" = None  # type: ignore[assignment]
+    hi: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class EnumType(TypeExpr):
+    """``{sym1, sym2, ...}`` — a symbol set used as a type."""
+
+    symbols: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class NamedType(TypeExpr):
+    """Reference to a CONSTANT whose value is a symbol set, or to a
+    scalar constant ``n`` standing for the range ``0 TO n-1`` (the
+    paper's ``VARIABLE number_unsafe IN 0 TO dirs`` idiom also allows
+    ``FORALL i IN dirs`` where ``dirs`` is the node degree)."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class SetOfType(TypeExpr):
+    """``SET OF <base>`` — subsets of a base type."""
+
+    base: TypeExpr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class UnionType(TypeExpr):
+    """``<a> UNION <b>`` — union of two type expressions."""
+
+    parts: tuple[TypeExpr, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """Identifier: variable, constant, event/quantifier parameter,
+    symbol literal, or input — resolved during semantic analysis."""
+
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Indexed access ``name(arg, ...)`` — an array variable, an INPUT
+    array, a FUNCTION application or a SUBBASE call; disambiguated by
+    semantic analysis."""
+
+    ident: str = ""
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class SetLit(Expr):
+    """``{e1, e2, ...}`` used as a value (membership tests, set ops)."""
+
+    items: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic / set binary operation: + - * MOD UNION INTER DIFF."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary minus."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Relational atom: = /= < <= > >=."""
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class InSet(Expr):
+    """Membership atom ``e IN <set expr>``."""
+
+    item: Expr = None  # type: ignore[assignment]
+    collection: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    terms: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    terms: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Quant(Expr):
+    """``EXISTS|FORALL var IN <set>: <body>`` (premise side)."""
+
+    kind: str = ""  # "EXISTS" | "FORALL"
+    var: str = ""
+    collection: Expr = None  # type: ignore[assignment]
+    body: Expr = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# Commands (conclusion side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Assign(Command):
+    """``target <- expr`` where target is a Name or Index lvalue."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Emit(Command):
+    """``!event(args)`` — generate an event (paper: "!send(...)")."""
+
+    event: str = ""
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Return(Command):
+    """``RETURN(expr)`` — deliver the rule base's result."""
+
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ForallCmd(Command):
+    """``FORALL var IN <set>: <commands>`` — quantified command list,
+    e.g. ``FORALL i IN dirs: !send_newmessage(i, ounsafe)``."""
+
+    var: str = ""
+    collection: Expr = None  # type: ignore[assignment]
+    body: tuple[Command, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallSubbase(Command):
+    """Subbase invocation used as a command."""
+
+    ident: str = ""
+    args: tuple[Expr, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Declarations and program structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Decl:
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class ConstDecl(Decl):
+    """``CONSTANT name = <expr or enum literal>``.
+
+    A set literal of symbols declares a symbol type (paper:
+    ``CONSTANT fault_states={safe,faulty,ounsafe,sunsafe,lfault}``);
+    a numeric expression declares a compile-time integer constant.
+    """
+
+    name: str = ""
+    value: Expr | EnumType = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Param:
+    """Typed formal parameter of a rule base, subbase or declaration."""
+
+    name: str
+    type: TypeExpr
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class VarDecl(Decl):
+    """``VARIABLE name[(index domains)] IN <type> [INIT <expr>]``."""
+
+    name: str = ""
+    indices: tuple[TypeExpr, ...] = ()
+    type: TypeExpr = None  # type: ignore[assignment]
+    init: Expr | None = None
+
+
+@dataclass(frozen=True)
+class InputDecl(Decl):
+    """``INPUT name[(index domains)] IN <type>`` — a read-only hardware
+    status or message-header signal supplied by the router at
+    invocation time (buffer usage, link state, header fields ...)."""
+
+    name: str = ""
+    indices: tuple[TypeExpr, ...] = ()
+    type: TypeExpr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class FunctionDecl(Decl):
+    """``FUNCTION name(types) IN <type> [FCFB "kind"]`` — an external
+    computation realized by a Free Configurable Function Block; the
+    Python implementation is registered with the engine."""
+
+    name: str = ""
+    arg_types: tuple[TypeExpr, ...] = ()
+    type: TypeExpr = None  # type: ignore[assignment]
+    fcfb: str | None = None
+
+
+@dataclass(frozen=True)
+class EventDecl(Decl):
+    """``EVENT name(types)`` — signature of an event that rules may
+    emit with ``!name(args)`` or that the hardware may raise."""
+
+    name: str = ""
+    arg_types: tuple[TypeExpr, ...] = ()
+
+
+@dataclass(frozen=True)
+class Rule:
+    premise: Expr
+    conclusion: tuple[Command, ...]
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class RuleBase:
+    """``ON name(params) [RETURNS type] <rules> END name;``"""
+
+    name: str
+    params: tuple[Param, ...]
+    rules: tuple[Rule, ...]
+    returns: TypeExpr | None = None
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Subbase:
+    """``SUBBASE name(params) [RETURNS type] <rules> END name;``"""
+
+    name: str
+    params: tuple[Param, ...]
+    rules: tuple[Rule, ...]
+    returns: TypeExpr | None = None
+    line: int = field(default=0, compare=False)
+
+
+@dataclass(frozen=True)
+class Program:
+    decls: tuple[Decl, ...]
+    rulebases: tuple[RuleBase, ...]
+    subbases: tuple[Subbase, ...]

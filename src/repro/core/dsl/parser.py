@@ -1,0 +1,474 @@
+"""Recursive-descent parser for the rule DSL.
+
+Produces the AST defined in :mod:`repro.core.dsl.nodes`.  Premises and
+value expressions share one expression grammar; semantic analysis
+enforces boolean/value typing afterwards.
+
+Grammar sketch (keywords case-insensitive)::
+
+    program   := { decl | rulebase | subbase }
+    decl      := CONSTANT ident = (enumlit | expr)
+               | VARIABLE ident [( type {, type} )] IN type [INIT expr]
+               | INPUT ident [( type {, type} )] IN type
+               | FUNCTION ident ( [type {, type}] ) IN type [FCFB "kind"]
+               | EVENT ident ( [type {, type}] )
+    rulebase  := ON ident [( param {, param} )] [RETURNS type]
+                 { rule } END ident ;
+    subbase   := SUBBASE ident [( param {, param} )] [RETURNS type]
+                 { rule } END ident ;
+    param     := ident IN type
+    rule      := IF premise THEN command {, command} ;
+    premise   := and_expr { OR and_expr }
+    and_expr  := bool_term { AND bool_term }
+    bool_term := NOT bool_term
+               | (EXISTS|FORALL) ident IN expr : premise
+               | expr [ relop expr | IN expr ]
+    expr      := mul { (+|-|UNION|INTER|DIFF) mul }
+    mul       := unary { (*|MOD) unary }
+    unary     := - unary | primary
+    primary   := NUM | ident [ ( expr {, expr} ) ] | ( premise )
+               | { [expr {, expr}] }
+    command   := RETURN ( expr )
+               | ! ident ( [expr {, expr}] )
+               | FORALL ident IN expr : command
+               | ( command {, command} )
+               | ident [( expr {, expr} )] [<- expr]
+    type      := type_atom { UNION type_atom }
+    type_atom := SET OF type_atom | { sym {, sym} } | expr [TO expr]
+
+A quantifier's body extends to the rest of the enclosing premise (the
+paper's NARA example relies on this); parenthesize to limit scope.
+"""
+
+from __future__ import annotations
+
+from .errors import ParseError
+from .lexer import Token, tokenize
+from . import nodes as N
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def check_kw(self, kw: str) -> bool:
+        return self.cur.kind == "KW" and self.cur.text == kw
+
+    def check_op(self, op: str) -> bool:
+        return self.cur.kind == "OP" and self.cur.text == op
+
+    def accept_kw(self, kw: str) -> bool:
+        if self.check_kw(kw):
+            self.advance()
+            return True
+        return False
+
+    def accept_op(self, op: str) -> bool:
+        if self.check_op(op):
+            self.advance()
+            return True
+        return False
+
+    def expect_kw(self, kw: str) -> Token:
+        if not self.check_kw(kw):
+            raise ParseError(f"expected {kw}, found {self.cur.text!r}",
+                             self.cur.line, self.cur.col)
+        return self.advance()
+
+    def expect_op(self, op: str) -> Token:
+        if not self.check_op(op):
+            raise ParseError(f"expected {op!r}, found {self.cur.text!r}",
+                             self.cur.line, self.cur.col)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.cur.kind != "IDENT":
+            raise ParseError(f"expected identifier, found {self.cur.text!r}",
+                             self.cur.line, self.cur.col)
+        return self.advance()
+
+    # -- program ------------------------------------------------------
+
+    def parse_program(self) -> N.Program:
+        decls: list[N.Decl] = []
+        rulebases: list[N.RuleBase] = []
+        subbases: list[N.Subbase] = []
+        while self.cur.kind != "EOF":
+            if self.check_kw("CONSTANT"):
+                decls.append(self.parse_constant())
+            elif self.check_kw("VARIABLE"):
+                decls.append(self.parse_variable())
+            elif self.check_kw("INPUT"):
+                decls.append(self.parse_input())
+            elif self.check_kw("FUNCTION"):
+                decls.append(self.parse_function())
+            elif self.check_kw("EVENT"):
+                decls.append(self.parse_event())
+            elif self.check_kw("ON"):
+                rulebases.append(self.parse_rulebase())
+            elif self.check_kw("SUBBASE"):
+                subbases.append(self.parse_subbase())
+            else:
+                raise ParseError(
+                    f"expected declaration or rule base, found {self.cur.text!r}",
+                    self.cur.line, self.cur.col)
+        return N.Program(tuple(decls), tuple(rulebases), tuple(subbases))
+
+    # -- declarations --------------------------------------------------
+
+    def parse_constant(self) -> N.ConstDecl:
+        tok = self.expect_kw("CONSTANT")
+        name = self.expect_ident().text
+        self.expect_op("=")
+        if self.check_op("{"):
+            value: N.Expr | N.EnumType = self.parse_enum_literal()
+        else:
+            value = self.parse_expr()
+        return N.ConstDecl(line=tok.line, name=name, value=value)
+
+    def parse_enum_literal(self) -> N.EnumType:
+        tok = self.expect_op("{")
+        syms = [self.expect_ident().text]
+        while self.accept_op(","):
+            syms.append(self.expect_ident().text)
+        self.expect_op("}")
+        return N.EnumType(line=tok.line, symbols=tuple(syms))
+
+    def parse_index_types(self) -> tuple[N.TypeExpr, ...]:
+        if not self.accept_op("("):
+            return ()
+        types = [self.parse_type()]
+        while self.accept_op(","):
+            types.append(self.parse_type())
+        self.expect_op(")")
+        return tuple(types)
+
+    def parse_variable(self) -> N.VarDecl:
+        tok = self.expect_kw("VARIABLE")
+        name = self.expect_ident().text
+        indices = self.parse_index_types()
+        self.expect_kw("IN")
+        typ = self.parse_type()
+        init = None
+        if self.accept_kw("INIT"):
+            init = self.parse_expr()
+        return N.VarDecl(line=tok.line, name=name, indices=indices,
+                         type=typ, init=init)
+
+    def parse_input(self) -> N.InputDecl:
+        tok = self.expect_kw("INPUT")
+        name = self.expect_ident().text
+        indices = self.parse_index_types()
+        self.expect_kw("IN")
+        typ = self.parse_type()
+        return N.InputDecl(line=tok.line, name=name, indices=indices, type=typ)
+
+    def parse_function(self) -> N.FunctionDecl:
+        tok = self.expect_kw("FUNCTION")
+        name = self.expect_ident().text
+        self.expect_op("(")
+        arg_types: list[N.TypeExpr] = []
+        if not self.check_op(")"):
+            arg_types.append(self.parse_type())
+            while self.accept_op(","):
+                arg_types.append(self.parse_type())
+        self.expect_op(")")
+        self.expect_kw("IN")
+        typ = self.parse_type()
+        fcfb = None
+        if self.accept_kw("FCFB"):
+            if self.cur.kind != "STRING":
+                raise ParseError("expected FCFB kind string",
+                                 self.cur.line, self.cur.col)
+            fcfb = self.advance().text
+        return N.FunctionDecl(line=tok.line, name=name,
+                              arg_types=tuple(arg_types), type=typ, fcfb=fcfb)
+
+    def parse_event(self) -> N.EventDecl:
+        tok = self.expect_kw("EVENT")
+        name = self.expect_ident().text
+        self.expect_op("(")
+        arg_types: list[N.TypeExpr] = []
+        if not self.check_op(")"):
+            arg_types.append(self.parse_type())
+            while self.accept_op(","):
+                arg_types.append(self.parse_type())
+        self.expect_op(")")
+        return N.EventDecl(line=tok.line, name=name, arg_types=tuple(arg_types))
+
+    # -- rule bases -----------------------------------------------------
+
+    def parse_params(self) -> tuple[N.Param, ...]:
+        if not self.accept_op("("):
+            return ()
+        params: list[N.Param] = []
+        if not self.check_op(")"):
+            params.append(self.parse_param())
+            while self.accept_op(","):
+                params.append(self.parse_param())
+        self.expect_op(")")
+        return tuple(params)
+
+    def parse_param(self) -> N.Param:
+        tok = self.expect_ident()
+        self.expect_kw("IN")
+        typ = self.parse_type()
+        return N.Param(name=tok.text, type=typ, line=tok.line)
+
+    def _parse_base_body(self) -> tuple[tuple[N.Param, ...],
+                                        N.TypeExpr | None,
+                                        tuple[N.Rule, ...], str]:
+        params = self.parse_params()
+        returns = None
+        if self.accept_kw("RETURNS"):
+            returns = self.parse_type()
+        rules: list[N.Rule] = []
+        while self.check_kw("IF"):
+            rules.append(self.parse_rule())
+        self.expect_kw("END")
+        end_name = self.expect_ident().text
+        self.expect_op(";")
+        return params, returns, tuple(rules), end_name
+
+    def parse_rulebase(self) -> N.RuleBase:
+        tok = self.expect_kw("ON")
+        name = self.expect_ident().text
+        params, returns, rules, end_name = self._parse_base_body()
+        if end_name != name:
+            raise ParseError(f"END {end_name} does not match ON {name}",
+                             self.cur.line, self.cur.col)
+        return N.RuleBase(name=name, params=params, rules=rules,
+                          returns=returns, line=tok.line)
+
+    def parse_subbase(self) -> N.Subbase:
+        tok = self.expect_kw("SUBBASE")
+        name = self.expect_ident().text
+        params, returns, rules, end_name = self._parse_base_body()
+        if end_name != name:
+            raise ParseError(f"END {end_name} does not match SUBBASE {name}",
+                             self.cur.line, self.cur.col)
+        return N.Subbase(name=name, params=params, rules=rules,
+                         returns=returns, line=tok.line)
+
+    def parse_rule(self) -> N.Rule:
+        tok = self.expect_kw("IF")
+        premise = self.parse_premise()
+        self.expect_kw("THEN")
+        commands = [self.parse_command()]
+        while self.accept_op(","):
+            commands.append(self.parse_command())
+        self.expect_op(";")
+        return N.Rule(premise=premise, conclusion=tuple(commands), line=tok.line)
+
+    # -- commands -------------------------------------------------------
+
+    def parse_command(self) -> N.Command:
+        tok = self.cur
+        if self.accept_kw("RETURN"):
+            self.expect_op("(")
+            value = self.parse_expr()
+            self.expect_op(")")
+            return N.Return(line=tok.line, value=value)
+        if self.accept_op("!"):
+            name = self.expect_ident().text
+            self.expect_op("(")
+            args: list[N.Expr] = []
+            if not self.check_op(")"):
+                args.append(self.parse_expr())
+                while self.accept_op(","):
+                    args.append(self.parse_expr())
+            self.expect_op(")")
+            return N.Emit(line=tok.line, event=name, args=tuple(args))
+        if self.accept_kw("FORALL"):
+            var = self.expect_ident().text
+            self.expect_kw("IN")
+            coll = self.parse_expr()
+            self.expect_op(":")
+            body = self.parse_command()
+            if isinstance(body, N.ForallCmd) and body.var == "":
+                # flatten a parenthesized command group used as the body
+                return N.ForallCmd(line=tok.line, var=var, collection=coll,
+                                   body=body.body)
+            return N.ForallCmd(line=tok.line, var=var, collection=coll,
+                               body=(body,))
+        if self.accept_op("("):
+            # grouped command list, used as a quantified-command body
+            cmds = [self.parse_command()]
+            while self.accept_op(","):
+                cmds.append(self.parse_command())
+            self.expect_op(")")
+            if len(cmds) == 1:
+                return cmds[0]
+            return N.ForallCmd(line=tok.line, var="", collection=N.SetLit(items=()),
+                               body=tuple(cmds))
+        name_tok = self.expect_ident()
+        args = ()
+        if self.accept_op("("):
+            arg_list: list[N.Expr] = []
+            if not self.check_op(")"):
+                arg_list.append(self.parse_expr())
+                while self.accept_op(","):
+                    arg_list.append(self.parse_expr())
+            self.expect_op(")")
+            args = tuple(arg_list)
+        if self.accept_op("<-"):
+            value = self.parse_expr()
+            target: N.Expr
+            if args:
+                target = N.Index(line=name_tok.line, ident=name_tok.text, args=args)
+            else:
+                target = N.Name(line=name_tok.line, ident=name_tok.text)
+            return N.Assign(line=name_tok.line, target=target, value=value)
+        return N.CallSubbase(line=name_tok.line, ident=name_tok.text, args=args)
+
+    # -- premises / expressions ------------------------------------------
+
+    def parse_premise(self) -> N.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> N.Expr:
+        first = self.parse_and()
+        terms = [first]
+        while self.accept_kw("OR"):
+            terms.append(self.parse_and())
+        if len(terms) == 1:
+            return first
+        return N.Or(line=first.line, terms=tuple(terms))
+
+    def parse_and(self) -> N.Expr:
+        first = self.parse_bool_term()
+        terms = [first]
+        while self.accept_kw("AND"):
+            terms.append(self.parse_bool_term())
+        if len(terms) == 1:
+            return first
+        return N.And(line=first.line, terms=tuple(terms))
+
+    def parse_bool_term(self) -> N.Expr:
+        tok = self.cur
+        if self.accept_kw("NOT"):
+            return N.Not(line=tok.line, operand=self.parse_bool_term())
+        if self.check_kw("EXISTS") or self.check_kw("FORALL"):
+            kind = self.advance().text
+            var = self.expect_ident().text
+            self.expect_kw("IN")
+            coll = self.parse_expr()
+            self.expect_op(":")
+            body = self.parse_premise()
+            return N.Quant(line=tok.line, kind=kind, var=var,
+                           collection=coll, body=body)
+        left = self.parse_expr()
+        if self.cur.kind == "OP" and self.cur.text in ("=", "/=", "<", "<=", ">", ">="):
+            op = self.advance().text
+            right = self.parse_expr()
+            return N.Compare(line=left.line, op=op, left=left, right=right)
+        if self.accept_kw("IN"):
+            coll = self.parse_expr()
+            return N.InSet(line=left.line, item=left, collection=coll)
+        return left
+
+    def parse_expr(self, allow_set_ops: bool = True) -> N.Expr:
+        left = self.parse_mul()
+        while True:
+            if self.check_op("+") or self.check_op("-"):
+                op = self.advance().text
+            elif allow_set_ops and (self.check_kw("UNION")
+                                    or self.check_kw("INTER")
+                                    or self.check_kw("DIFF")):
+                op = self.advance().text
+            else:
+                break
+            right = self.parse_mul()
+            left = N.BinOp(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def parse_mul(self) -> N.Expr:
+        left = self.parse_unary()
+        while self.check_op("*") or self.check_kw("MOD"):
+            op = self.advance().text
+            right = self.parse_unary()
+            left = N.BinOp(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> N.Expr:
+        tok = self.cur
+        if self.accept_op("-"):
+            return N.UnOp(line=tok.line, op="-", operand=self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> N.Expr:
+        tok = self.cur
+        if tok.kind == "NUM":
+            self.advance()
+            return N.Num(line=tok.line, value=int(tok.text))
+        if tok.kind == "IDENT":
+            self.advance()
+            if self.accept_op("("):
+                args: list[N.Expr] = []
+                if not self.check_op(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_op(","):
+                        args.append(self.parse_expr())
+                self.expect_op(")")
+                return N.Index(line=tok.line, ident=tok.text, args=tuple(args))
+            return N.Name(line=tok.line, ident=tok.text)
+        if self.accept_op("("):
+            inner = self.parse_premise()
+            self.expect_op(")")
+            return inner
+        if self.accept_op("{"):
+            items: list[N.Expr] = []
+            if not self.check_op("}"):
+                items.append(self.parse_expr())
+                while self.accept_op(","):
+                    items.append(self.parse_expr())
+            self.expect_op("}")
+            return N.SetLit(line=tok.line, items=tuple(items))
+        raise ParseError(f"unexpected token {tok.text!r} in expression",
+                         tok.line, tok.col)
+
+    # -- types -------------------------------------------------------------
+
+    def parse_type(self) -> N.TypeExpr:
+        first = self.parse_type_atom()
+        parts = [first]
+        while self.accept_kw("UNION"):
+            parts.append(self.parse_type_atom())
+        if len(parts) == 1:
+            return first
+        return N.UnionType(line=first.line, parts=tuple(parts))
+
+    def parse_type_atom(self) -> N.TypeExpr:
+        tok = self.cur
+        if self.accept_kw("SET"):
+            self.expect_kw("OF")
+            base = self.parse_type_atom()
+            return N.SetOfType(line=tok.line, base=base)
+        if self.check_op("{"):
+            return self.parse_enum_literal()
+        lo = self.parse_expr(allow_set_ops=False)
+        if self.accept_kw("TO"):
+            hi = self.parse_expr(allow_set_ops=False)
+            return N.RangeType(line=tok.line, lo=lo, hi=hi)
+        if isinstance(lo, N.Name):
+            return N.NamedType(line=tok.line, name=lo.ident)
+        raise ParseError("expected a type (range, enum, SET OF, or name)",
+                         tok.line, tok.col)
+
+
+def parse(source: str) -> N.Program:
+    """Parse DSL source text into a :class:`~repro.core.dsl.nodes.Program`."""
+    return Parser(source).parse_program()

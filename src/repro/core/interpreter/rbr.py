@@ -1,0 +1,93 @@
+"""Table-based rule interpreter (software model of the RBR-kernel).
+
+Executes a :class:`~repro.core.compiler.compile.CompiledRuleBase` the
+way the hardware does (paper Figure 5): premise processing computes the
+feature values (direct signal encodings and FCFB bits), their
+concatenation indexes the completely-filled rule table, and the selected
+entry drives conclusion processing.
+"""
+
+from __future__ import annotations
+
+from ..dsl.domains import Value
+from ..dsl.errors import EvalError
+from ..compiler.atoms import BitFeature, DirectFeature
+from ..compiler.compile import CompiledProgram, CompiledRuleBase
+from ..compiler.tablegen import NO_RULE
+from .evaluator import Env, eval_expr, to_bool
+from .execution import InvocationResult, _Effects, apply_effects, gather_effects
+
+
+class RbrInterpreter:
+    def __init__(self, compiled: CompiledProgram):
+        self.compiled = compiled
+        self.analyzed = compiled.analyzed
+
+    def compute_index(self, base: CompiledRuleBase, env: Env) -> int:
+        """Premise processing: one mixed-radix index from the features."""
+        codes: list[int] = []
+        for feat in base.analysis.features:
+            if isinstance(feat, DirectFeature):
+                value = eval_expr(feat.signal, env)
+                codes.append(feat.domain.encode(value))
+            else:
+                assert isinstance(feat, BitFeature)
+                codes.append(int(to_bool(eval_expr(feat.atom, env))))
+        return base.analysis.index_of(codes)
+
+    def invoke(self, base: CompiledRuleBase, args: tuple[Value, ...],
+               env: Env) -> InvocationResult:
+        if base.table is None:
+            raise EvalError(f"rule base {base.name!r} was compiled without "
+                            f"a materialized table; recompile with "
+                            f"materialize=True to execute it")
+        if len(args) != len(base.params):
+            raise EvalError(f"rule base {base.name!r} expects "
+                            f"{len(base.params)} arguments, got {len(args)}")
+        bindings = {}
+        for (name, dom), value in zip(base.params, args):
+            dom.check(value, f"argument {name} of {base.name}")
+            bindings[name] = value
+        call_env = env.bind(bindings)
+
+        idx = self.compute_index(base, call_env)
+        entry = int(base.table[idx])
+        result = InvocationResult(base=base.name, fired_source_rule=None)
+        if entry == NO_RULE:
+            return result
+        ground = base.ground_rules[entry]
+        result.fired_source_rule = ground.source_index
+        result.witness = ground.witness
+        effects = _Effects()
+        gather_effects(ground.commands, call_env, effects,
+                       self._subbase_runner(call_env))
+        apply_effects(effects, call_env, result)
+        return result
+
+    # -- subbases ------------------------------------------------------------
+
+    def _subbase_runner(self, env: Env):
+        def run(name: str, args: tuple[Value, ...], effects: _Effects) -> None:
+            sub = self.compiled.subbases.get(name)
+            if sub is None:
+                raise EvalError(f"unknown subbase {name!r}")
+            res = self.invoke(sub, args, env)
+            effects.writes.extend(res.writes)
+            effects.emissions.extend(res.emissions)
+        return run
+
+    def subbase_caller(self, env: Env):
+        """Expression-position subbase calls (pure lookups)."""
+        def call(name: str, args: tuple[Value, ...]) -> Value:
+            sub = self.compiled.subbases.get(name)
+            if sub is None:
+                raise EvalError(f"unknown subbase {name!r}")
+            res = self.invoke(sub, args, env)
+            if res.writes or res.emissions:
+                raise EvalError(f"subbase {name!r} used in an expression "
+                                f"must only RETURN")
+            if not res.has_return:
+                raise EvalError(f"subbase {name!r} returned no value for "
+                                f"arguments {args!r}")
+            return res.returned  # type: ignore[return-value]
+        return call

@@ -1,0 +1,80 @@
+"""Delay model of the rule interpreter hardware.
+
+Paper Section 4.3: "the routing decision is done in a very short time
+given by the sum of the delays in the configurable wiring (negligible),
+two times the FCFBs and one memory access or way through a PAL" — and
+the interpreter can be pipelined for throughput.
+
+The absolute numbers are a 1998-era CMOS model and configurable; what
+the benchmarks depend on is the *structure*: one interpretation step =
+wiring + 2 x FCFB + one RAM access, and a routing decision costs as
+many steps as the algorithm chains rule-base invocations (NAFTA 1..3,
+ROUTE_C 2 — paper Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.compile import CompiledRuleBase
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Nanosecond-level delays of one rule interpretation."""
+
+    wiring_ns: float = 0.5      # configurable interconnect (negligible)
+    fcfb_ns: float = 2.0        # one FCFB stage
+    ram_access_ns: float = 5.0  # rule table RAM / PAL traversal
+    cycle_ns: float = 10.0      # router clock period
+
+    def step_ns(self, base: CompiledRuleBase | None = None) -> float:
+        """Latency of a single rule interpretation (one step).
+
+        The paper's formula is independent of the rule base size up to
+        the RAM access; ``base`` is accepted for API symmetry and future
+        size-dependent RAM models.
+        """
+        return self.wiring_ns + 2.0 * self.fcfb_ns + self.ram_access_ns
+
+    def step_cycles(self, base: CompiledRuleBase | None = None) -> int:
+        """One interpretation step in whole router cycles (>= 1)."""
+        ns = self.step_ns(base)
+        return max(1, -(-int(ns * 1000) // int(self.cycle_ns * 1000)))
+
+    def decision_cycles(self, steps: int,
+                        base: CompiledRuleBase | None = None) -> int:
+        """Routing-decision latency for ``steps`` chained interpretations."""
+        return steps * self.step_cycles(base)
+
+    def decision_ns(self, steps: int,
+                    base: CompiledRuleBase | None = None) -> float:
+        return steps * self.step_ns(base)
+
+    # -- pipelining ("the flow through the rule interpreter is straight
+    # and pipelining can be applied to increase throughput") -------------
+
+    @property
+    def pipeline_stages(self) -> int:
+        """Premise processing, RBR-kernel access, conclusion processing
+        (paper Figure 5)."""
+        return 3
+
+    def pipeline_stage_ns(self) -> float:
+        """The slowest pipeline stage bounds the interpreter clock."""
+        return max(self.wiring_ns + self.fcfb_ns,   # premise processing
+                   self.ram_access_ns,              # RBR-kernel lookup
+                   self.fcfb_ns)                    # conclusion processing
+
+    def pipelined_latency_ns(self) -> float:
+        """Latency of one interpretation through the full pipeline."""
+        return self.pipeline_stages * self.pipeline_stage_ns()
+
+    def pipelined_throughput_per_us(self) -> float:
+        """Sustained interpretations per microsecond once the pipeline
+        is full — the figure that lets one rule interpreter serve
+        several input channels."""
+        return 1000.0 / self.pipeline_stage_ns()
+
+
+DEFAULT_DELAYS = DelayModel()

@@ -1,0 +1,15 @@
+"""Experiment harness: workload runners, result formatting, and the
+paper's reference numbers."""
+
+from .ascii_chart import line_chart
+from .harness import fmt, results_dir, save_report, table
+from .paper_data import PAPER, PAPER_TABLE1, PAPER_TABLE2, paper_table2_row
+from .runners import (WorkloadSpec, cube_fault_sweep, decision_time_sweep,
+                      latency_vs_load, mesh_fault_sweep, run_workload,
+                      saturation_throughput)
+
+__all__ = ["line_chart", "fmt", "results_dir", "save_report", "table", "PAPER",
+           "PAPER_TABLE1", "PAPER_TABLE2", "paper_table2_row",
+           "WorkloadSpec", "cube_fault_sweep", "decision_time_sweep",
+           "latency_vs_load", "mesh_fault_sweep", "run_workload",
+           "saturation_throughput"]

@@ -1,0 +1,85 @@
+"""Tiny ASCII charts for the text reports (no plotting dependency).
+
+Used by the benchmark harness to render latency-vs-load curves and
+sweeps directly into ``benchmarks/results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _fmt_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    if abs(v) >= 1:
+        return f"{v:.3g}"
+    return f"{v:.2g}"
+
+
+def line_chart(series: dict[str, list[tuple[float, float]]],
+               width: int = 56, height: int = 14,
+               title: str = "", x_label: str = "", y_label: str = "",
+               y_log: bool = False) -> str:
+    """Plot one or more (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a distinct marker; points are clipped to the
+    bounding box of all finite data.
+    """
+    markers = "*o+x#@%&"
+    pts_all = [(x, y) for pts in series.values() for x, y in pts
+               if math.isfinite(x) and math.isfinite(y)
+               and (not y_log or y > 0)]
+    if not pts_all:
+        return f"{title}\n  (no data)"
+    xs = [p[0] for p in pts_all]
+    ys = [math.log10(p[1]) if y_log else p[1] for p in pts_all]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            if y_log:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    y_top = 10 ** y_hi if y_log else y_hi
+    y_bot = 10 ** y_lo if y_log else y_lo
+    lines = []
+    if title:
+        lines.append(title)
+    axis_w = max(len(_fmt_tick(y_top)), len(_fmt_tick(y_bot)))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = _fmt_tick(y_top).rjust(axis_w)
+        elif i == height - 1:
+            label = _fmt_tick(y_bot).rjust(axis_w)
+        else:
+            label = " " * axis_w
+        lines.append(f"  {label} |{''.join(row)}|")
+    x_axis = f"  {' ' * axis_w} +{'-' * width}+"
+    lines.append(x_axis)
+    left = _fmt_tick(x_lo)
+    right = _fmt_tick(x_hi)
+    pad = width - len(left) - len(right)
+    lines.append(f"  {' ' * axis_w}  {left}{' ' * max(1, pad)}{right}"
+                 f"  {x_label}")
+    legend = "   ".join(f"{m}={name}"
+                        for (name, _), m in zip(series.items(), markers))
+    lines.append(f"  {' ' * axis_w}  [{legend}]"
+                 + (f"  y: {y_label}" if y_label else "")
+                 + ("  (log y)" if y_log else ""))
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Formatting and persistence for benchmark results.
+
+Every benchmark regenerates one of the paper's tables/claims, renders a
+text report, prints it and archives it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference the exact numbers of the last run.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+
+
+def results_dir() -> Path:
+    """benchmarks/results/ next to the repository root (or overridden
+    via REPRO_RESULTS_DIR)."""
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        d = Path(env)
+    else:
+        d = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    d.mkdir(parents=True, exist_ok=True)
+    return d
+
+
+def save_report(name: str, text: str, echo: bool = True) -> Path:
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    if echo:
+        print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def fmt(v) -> str:
+    if isinstance(v, float):
+        if math.isnan(v):
+            return "nan"
+        return f"{v:.2f}" if abs(v) >= 10 else f"{v:.3f}"
+    return str(v)
+
+
+def table(rows: list[dict], columns: list[tuple[str, str]],
+          title: str = "") -> str:
+    """Render dict rows as a fixed-width text table.
+
+    ``columns`` is a list of (dict key, header) pairs.
+    """
+    headers = [h for _, h in columns]
+    data = [[fmt(r.get(k, "")) for k, _ in columns] for r in rows]
+    widths = [max(len(h), *(len(d[i]) for d in data)) if data else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for d in data:
+        lines.append("  " + "  ".join(c.rjust(w) for c, w in zip(d, widths)))
+    return "\n".join(lines)

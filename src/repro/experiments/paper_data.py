@@ -1,0 +1,84 @@
+"""The paper's reported numbers (Tables 1 and 2 plus Section 5 prose),
+kept verbatim so every benchmark prints paper-vs-measured."""
+
+from __future__ import annotations
+
+# Table 1: Rule bases of NAFTA — (entries, width, fcfbs, meaning, nft)
+PAPER_TABLE1 = {
+    "incoming_message": (1024, 8, "2 x magnitude comparator, minimum "
+                         "selection, mesh distance computation, membership "
+                         "testing", "handling of an incoming message", True),
+    "in_message_ft": (256, 7, "logical unit, minimum selection",
+                      "routing decision in ft mode", False),
+    "update_dir_table": (64, 28, "set subtraction",
+                         "new fault states require update of data", False),
+    "message_finished": (64, 8, "minimum selection, 4 decrementors",
+                         "fair output scheduling", True),
+    "calculate_new_node_state": (64, 9, "computation in a finite lattice, "
+                                 "set difference, state comparison",
+                                 "status from a neighbor node or change of "
+                                 "a link state", False),
+    "test_exception": (32, 9, "membership testing",
+                       "handling of messages in a special situation", False),
+    "tell_my_neighbors": (16, 4, "no FCFB needed",
+                          "generation of messages to adjacent nodes", True),
+    "flit_finished": (4, 4, "decrementor, adder, comparator",
+                      "update adaptivity criterion", True),
+    "fault_occured": (3, 4, "2 x membership testing, set union",
+                      "update of node state on failure", False),
+    "message_from_info_channel": (2, 3, "no FCFB needed",
+                                  "update of adaptivity or fault "
+                                  "information", True),
+    "consider_neighbor_state": (2, 7, "incrementor, computation in a finite "
+                                "lattice, integer comparison with const.",
+                                "consistency of neighboring states", False),
+}
+
+# Table 2: Rule bases of ROUTE_C for dimension d, adaptivity width a —
+# (entries(d, a), width(d, a), fcfbs, meaning, nft); d=6, a=2 shown in
+# the paper's running 64-node example.
+PAPER_TABLE2 = {
+    "decide_dir": (lambda d, a: 512, lambda d, a: 4,
+                   "6 logical units d bits wide: AND, zero check, input "
+                   "negate", "decides which outputs can be taken", True),
+    "decide_vc": (lambda d, a: 4 * d, lambda d, a: 1 + a,
+                  "minimum selection (same as NAFTA), compare with constant",
+                  "decide output and virt. channel, update adaptivity",
+                  False),
+    "update_state": (lambda d, a: 180, lambda d, a: 7,
+                     "conditional increment, compare with constant",
+                     "state update requires counting of unsafe or faulty "
+                     "neighbors", False),
+    "adaptivity": (lambda d, a: 0, lambda d, a: 0,
+                   "create adaptivity criterion, no details given",
+                   "adaptivity criterion (unspecified)", True),
+}
+
+# Section 5 prose numbers
+PAPER = {
+    # registers
+    "nafta_register_bits": 159,
+    "nafta_register_count": 8,
+    "nafta_register_bits_ft_only": 47,
+    "route_c_register_bits": lambda d: 15 * d + 2 * max(1, (d - 1).bit_length()) + 3,
+    "route_c_register_count": 9,
+    "route_c_register_bits_nft": lambda d: 9 * d,
+    # interpretation steps per routing decision
+    "nafta_steps_fault_free": 1,
+    "nafta_steps_worst": 3,
+    "route_c_steps": 2,
+    "nft_steps": 1,
+    # the merged decide_dir+decide_vc rule base
+    "merged_entries": lambda d: 1024 * 2 ** d,
+    "merged_width": lambda d, a: d + 1 + a,
+    # total ROUTE_C rule table memory for the 64-node example
+    "route_c_total_bits_d6_a2": 2960,
+    # virtual channels
+    "nafta_vcs": 2,
+    "route_c_vcs": 5,
+}
+
+
+def paper_table2_row(name: str, d: int, a: int):
+    entries_fn, width_fn, fcfbs, meaning, nft = PAPER_TABLE2[name]
+    return entries_fn(d, a), width_fn(d, a), fcfbs, meaning, nft

@@ -1,0 +1,138 @@
+"""Reusable experiment runners for the benchmark harness.
+
+Each runner builds a network, drives a workload, and returns plain-dict
+results so benchmarks can print paper-vs-measured tables and tests can
+assert on shapes (who wins, by what factor, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..routing.registry import make_algorithm
+from ..sim import (FaultSchedule, Mesh2D, Network, SimConfig,
+                   TrafficGenerator, Hypercube, random_link_faults)
+from ..sim.flit import reset_message_ids
+from ..sim.network import DeadlockError
+from ..sim.topology import Topology
+
+
+@dataclass
+class WorkloadSpec:
+    topology: Topology
+    algorithm: str
+    pattern: str = "uniform"
+    load: float = 0.1
+    message_length: int = 4
+    cycles: int = 2000
+    warmup: int = 400
+    seed: int = 1
+    cycles_per_step: int = 0      # 0 = derive from decision steps x 1
+    buffer_depth: int = 4
+    fault_links: list = field(default_factory=list)
+    fault_nodes: list = field(default_factory=list)
+    arbiter: str = "round_robin"
+
+
+def run_workload(spec: WorkloadSpec, drain: bool = True) -> dict:
+    """One simulation run; returns the stats summary + run metadata."""
+    reset_message_ids()
+    cfg = SimConfig(buffer_depth=spec.buffer_depth,
+                    cycles_per_step=max(1, spec.cycles_per_step))
+    algo = make_algorithm(spec.algorithm)
+    net = Network(spec.topology, algo, config=cfg, arbiter=spec.arbiter)
+    if spec.fault_links or spec.fault_nodes:
+        net.schedule_faults(FaultSchedule.static(links=spec.fault_links,
+                                                 nodes=spec.fault_nodes))
+    net.attach_traffic(TrafficGenerator(
+        spec.topology, spec.pattern, load=spec.load,
+        message_length=spec.message_length, seed=spec.seed))
+    net.set_warmup(spec.warmup)
+    deadlocked = False
+    try:
+        net.run(spec.cycles)
+        if drain:
+            net.traffic = None
+            net.run_until_drained(max_cycles=300_000)
+    except DeadlockError:
+        deadlocked = True
+    out = net.stats.summary(spec.topology.n_nodes)
+    out["algorithm"] = spec.algorithm
+    out["load"] = spec.load
+    out["pattern"] = spec.pattern
+    out["deadlocked"] = deadlocked
+    out["undelivered"] = len(net.undelivered())
+    out["n_faults"] = net.faults.n_faults()
+    return out
+
+
+def latency_vs_load(topology_factory, algorithm: str,
+                    loads: list[float], **kw) -> list[dict]:
+    """Latency/throughput curve over offered load (one fresh network
+    per point)."""
+    out = []
+    for load in loads:
+        spec = WorkloadSpec(topology=topology_factory(),
+                            algorithm=algorithm, load=load, **kw)
+        out.append(run_workload(spec, drain=False))
+    return out
+
+
+def saturation_throughput(points: list[dict]) -> float:
+    """Accepted throughput at the highest offered load (flits/node/
+    cycle) — the classic saturation measure."""
+    return max(p["throughput_flits_node_cycle"] for p in points)
+
+
+def mesh_fault_sweep(algorithm: str, n_faults_list: list[int],
+                     width: int = 8, height: int = 8, seed: int = 7,
+                     **kw) -> list[dict]:
+    """NAFTA-style experiment: fixed moderate load, increasing numbers
+    of random (connectivity-preserving) link faults."""
+    out = []
+    for n in n_faults_list:
+        topo = Mesh2D(width, height)
+        rng = np.random.default_rng(seed + n)
+        links = random_link_faults(topo, n, rng) if n else []
+        spec = WorkloadSpec(topology=topo, algorithm=algorithm,
+                            fault_links=links, seed=seed, **kw)
+        res = run_workload(spec)
+        res["n_link_faults"] = n
+        out.append(res)
+    return out
+
+
+def cube_fault_sweep(algorithm: str, n_faults_list: list[int],
+                     dimension: int = 4, seed: int = 3, **kw) -> list[dict]:
+    out = []
+    for n in n_faults_list:
+        topo = Hypercube(dimension)
+        rng = np.random.default_rng(seed + n)
+        nodes = []
+        while len(nodes) < n:
+            cand = int(rng.integers(0, topo.n_nodes))
+            if cand not in nodes:
+                nodes.append(cand)
+        spec = WorkloadSpec(topology=topo, algorithm=algorithm,
+                            fault_nodes=nodes, seed=seed, **kw)
+        res = run_workload(spec)
+        res["n_node_faults"] = n
+        out.append(res)
+    return out
+
+
+def decision_time_sweep(topology_factory, algorithm: str,
+                        cycles_per_step_list: list[int],
+                        **kw) -> list[dict]:
+    """The [DLO97] experiment: impact of routing-decision time on
+    network latency."""
+    out = []
+    for cps in cycles_per_step_list:
+        spec = WorkloadSpec(topology=topology_factory(),
+                            algorithm=algorithm, cycles_per_step=cps, **kw)
+        res = run_workload(spec)
+        res["cycles_per_step"] = cps
+        out.append(res)
+    return out

@@ -1,0 +1,8 @@
+"""Hardware cost accounting: rule-table sizes, FCFB inventories,
+register bits, fault-tolerance overhead (paper Section 5)."""
+
+from .report import render_registers, render_table1, render_table2
+from .tables import CostReport, RegisterRow, RuleBaseRow, cost_report
+
+__all__ = ["render_registers", "render_table1", "render_table2",
+           "CostReport", "RegisterRow", "RuleBaseRow", "cost_report"]

@@ -1,0 +1,91 @@
+"""Text rendering of cost reports: the paper-vs-measured tables the
+benchmarks print."""
+
+from __future__ import annotations
+
+from ..experiments.paper_data import (PAPER, PAPER_TABLE1, paper_table2_row)
+from .tables import CostReport
+
+
+def _fmt_size(entries: int, width: int) -> str:
+    return f"{entries} x {width}"
+
+
+def render_table1(report: CostReport) -> str:
+    """NAFTA: our compiled rule bases next to the paper's Table 1."""
+    lines = [
+        "Table 1 — Rule bases of NAFTA (paper vs measured)",
+        f"  parameters: {report.params}",
+        f"  {'rule base':<26} {'paper size':>12} {'ours':>12} "
+        f"{'nft':>4}  FCFBs (ours)",
+        "  " + "-" * 100,
+    ]
+    for row in report.rows:
+        paper = PAPER_TABLE1.get(row.name)
+        psize = _fmt_size(paper[0], paper[1]) if paper else "?"
+        lines.append(
+            f"  {row.name:<26} {psize:>12} "
+            f"{_fmt_size(row.entries, row.width):>12} "
+            f"{'*' if row.nft else '':>4}  {row.fcfb_text()}")
+    paper_total = sum(e * w for e, w, *_ in PAPER_TABLE1.values())
+    lines.append("  " + "-" * 100)
+    lines.append(f"  total table bits: paper {paper_total}, "
+                 f"ours {report.total_table_bits} "
+                 f"(nft-only {report.nft_table_bits}, "
+                 f"ft share {report.ft_overhead_fraction():.0%})")
+    pool = report.fcfb_pool()
+    lines.append(f"  shared FCFB pool: "
+                 + ", ".join((f"{n} x {k}" if n > 1 else k)
+                             for k, n in pool.items()))
+    lines.append(f"  pool size {sum(pool.values())} blocks vs "
+                 f"{report.fcfb_unshared_total()} unshared — the sharing "
+                 f"the paper's Figure 6 suggests")
+    return "\n".join(lines)
+
+
+def render_table2(report: CostReport) -> str:
+    """ROUTE_C: our compiled rule bases next to the paper's Table 2."""
+    d = int(report.params.get("d", 6))
+    a = int(report.params.get("a", 2))
+    lines = [
+        f"Table 2 — Rule bases of ROUTE_C (d={d}, a={a})",
+        f"  {'rule base':<14} {'paper size':>12} {'ours':>12} "
+        f"{'nft':>4}  FCFBs (ours)",
+        "  " + "-" * 96,
+    ]
+    paper_total = 0
+    for row in report.rows:
+        try:
+            pe, pw, _, _, _ = paper_table2_row(row.name, d, a)
+            paper_total += pe * pw
+            psize = _fmt_size(pe, pw) if pe else "n/a"
+        except KeyError:
+            psize = "?"
+        lines.append(
+            f"  {row.name:<14} {psize:>12} "
+            f"{_fmt_size(row.entries, row.width):>12} "
+            f"{'*' if row.nft else '':>4}  {row.fcfb_text()}")
+    lines.append("  " + "-" * 96)
+    note = ""
+    if d == 6 and a == 2:
+        note = (f" (paper quotes {PAPER['route_c_total_bits_d6_a2']} bits "
+                f"total for the 64-node example)")
+    lines.append(f"  total table bits: paper {paper_total}{note}, "
+                 f"ours {report.total_table_bits}")
+    return "\n".join(lines)
+
+
+def render_registers(report: CostReport) -> str:
+    lines = [
+        f"Registers of {report.ruleset} "
+        f"({report.register_count} registers, "
+        f"{report.total_register_bits} bits, "
+        f"{report.ft_only_register_bits} bits only for fault tolerance)",
+        f"  {'register':<16} {'bits':>5} {'cells':>6} {'ft-only':>8}  writers",
+        "  " + "-" * 70,
+    ]
+    for r in report.registers:
+        lines.append(f"  {r.name:<16} {r.bits:>5} {r.cells:>6} "
+                     f"{'yes' if r.ft_only else 'no':>8}  "
+                     f"{', '.join(r.writers) or '-'}")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Hardware-cost table computation: regenerates the paper's Tables 1/2
+and the register/overhead accounting of Section 5 from compiled
+rulesets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.compiler import CompiledProgram, CompiledRuleBase
+from ..routing.rulesets.loader import RULESETS, compile_ruleset
+
+
+@dataclass
+class RuleBaseRow:
+    name: str
+    entries: int
+    width: int
+    size_bits: int
+    fcfbs: dict[str, int]
+    nft: bool
+
+    def fcfb_text(self) -> str:
+        if not self.fcfbs:
+            return "no FCFB needed"
+        return ", ".join((f"{n} x {k}" if n > 1 else k)
+                         for k, n in sorted(self.fcfbs.items()))
+
+
+@dataclass
+class RegisterRow:
+    name: str
+    bits: int
+    cells: int
+    writers: list[str]
+    readers: list[str]
+    ft_only: bool
+
+
+@dataclass
+class CostReport:
+    ruleset: str
+    params: dict
+    rows: list[RuleBaseRow]
+    registers: list[RegisterRow]
+
+    @property
+    def total_table_bits(self) -> int:
+        return sum(r.size_bits for r in self.rows)
+
+    @property
+    def nft_table_bits(self) -> int:
+        return sum(r.size_bits for r in self.rows if r.nft)
+
+    @property
+    def ft_only_table_bits(self) -> int:
+        return self.total_table_bits - self.nft_table_bits
+
+    @property
+    def total_register_bits(self) -> int:
+        return sum(r.bits for r in self.registers)
+
+    @property
+    def ft_only_register_bits(self) -> int:
+        return sum(r.bits for r in self.registers if r.ft_only)
+
+    @property
+    def register_count(self) -> int:
+        return len(self.registers)
+
+    def fcfb_pool(self) -> dict[str, int]:
+        """Size of a shared FCFB pool: per kind, the maximum any single
+        rule base needs (one base interprets at a time per interpreter;
+        the paper: 'it is suggesting to use a common pool of
+        resources')."""
+        pool: dict[str, int] = {}
+        for row in self.rows:
+            for kind, n in row.fcfbs.items():
+                pool[kind] = max(pool.get(kind, 0), n)
+        return dict(sorted(pool.items()))
+
+    def fcfb_unshared_total(self) -> int:
+        """Total FCFB instances if every rule base had private blocks —
+        the saving the shared pool realizes."""
+        return sum(n for row in self.rows for n in row.fcfbs.values())
+
+    def ft_overhead_fraction(self) -> float:
+        """Share of the rule-table memory attributable to fault
+        tolerance (the paper's headline: 'fault tolerance implies a
+        considerable overhead')."""
+        if self.total_table_bits == 0:
+            return 0.0
+        return self.ft_only_table_bits / self.total_table_bits
+
+
+def _rows_from_compiled(compiled: CompiledProgram,
+                        nft_bases: frozenset) -> list[RuleBaseRow]:
+    rows = []
+    for name, rb in compiled.rulebases.items():
+        rows.append(RuleBaseRow(
+            name=name, entries=rb.n_entries, width=rb.width,
+            size_bits=rb.size_bits, fcfbs=rb.fcfb_kinds,
+            nft=name in nft_bases))
+    rows.sort(key=lambda r: -r.size_bits)
+    return rows
+
+
+def _registers_from_compiled(compiled: CompiledProgram,
+                             nft_bases: frozenset) -> list[RegisterRow]:
+    regs = []
+    for rep in compiled.register_report():
+        touchers = set(rep["readers"]) | set(rep["writers"])
+        ft_only = bool(touchers) and not (touchers & nft_bases)
+        regs.append(RegisterRow(
+            name=rep["name"], bits=rep["bits"], cells=rep["cells"],
+            writers=rep["writers"], readers=rep["readers"], ft_only=ft_only))
+    regs.sort(key=lambda r: -r.bits)
+    return regs
+
+
+def cost_report(ruleset: str, params: dict | None = None,
+                materialize: bool = True) -> CostReport:
+    spec = RULESETS[ruleset]
+    merged = dict(spec.default_params)
+    merged.update(params or {})
+    compiled = compile_ruleset(ruleset, merged, materialize=materialize)
+    return CostReport(
+        ruleset=ruleset, params=merged,
+        rows=_rows_from_compiled(compiled, spec.nft_bases),
+        registers=_registers_from_compiled(compiled, spec.nft_bases))

@@ -1,0 +1,122 @@
+"""Routing algorithm interface.
+
+The paper describes a common structure for fault-tolerant routing
+algorithms (Section 2.2): fault knowledge restricts usable outgoing
+links (set 1); destination/source plus deadlock rules yield a set of
+deadlock-free outputs (set 2); the intersection, ordered by an
+adaptivity criterion, gives the candidates the router tries.
+
+``RoutingAlgorithm.route`` returns exactly that: an ordered candidate
+list of (port, virtual channel) pairs, or a delivery decision, plus the
+number of rule-interpretation steps the decision cost — the quantity
+the paper's Section 5 reports (NAFTA 1..3 steps, ROUTE_C always 2).
+
+Algorithms keep their distributed per-node state (NAFTA's dead-end
+states, ROUTE_C's unsafe states) in ``node_states`` and refresh it in
+``on_fault_update`` — the diagnosis phase of assumption iv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..sim.flit import Header
+from ..sim.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.network import Network, Router
+
+
+@dataclass
+class RouteDecision:
+    """Outcome of one routing decision."""
+
+    deliver: bool = False
+    candidates: list[tuple[int, int]] = field(default_factory=list)
+    steps: int = 1            # rule-interpretation steps consumed
+    stuck: bool = False       # no legal output exists, now or ever
+    #                           (a Condition-3 violation; the network
+    #                           drops the message and counts it)
+
+    @classmethod
+    def delivery(cls, steps: int = 1) -> "RouteDecision":
+        return cls(deliver=True, steps=steps)
+
+    @classmethod
+    def unroutable(cls, steps: int = 1) -> "RouteDecision":
+        return cls(stuck=True, steps=steps)
+
+
+class RoutingError(Exception):
+    """A routing algorithm met a situation it cannot handle (e.g. its
+    topology requirements are violated, or a message has no legal
+    output and never will)."""
+
+
+class RoutingAlgorithm:
+    """Base class for all routing algorithms."""
+
+    #: human-readable identifier used by the registry and reports
+    name: str = "base"
+    #: virtual channels per physical link the scheme requires
+    n_vcs: int = 1
+    #: True if the algorithm handles faults (otherwise it is an "nft"
+    #: algorithm in the paper's terminology)
+    fault_tolerant: bool = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def check_topology(self, topology: Topology) -> None:
+        """Raise RoutingError if the topology is unsupported.  The paper
+        notes the topology 'is a property of the routing algorithm and
+        not an input to it'."""
+
+    def reset(self, network: "Network") -> None:
+        """(Re)build per-node state at simulation start."""
+
+    def on_fault_update(self, network: "Network") -> None:
+        """Diagnosis phase: recompute distributed fault knowledge after
+        the fault set changed (runs atomically, assumption iv)."""
+
+    # -- the decision ------------------------------------------------------
+
+    def route(self, router: "Router", header: Header,
+              in_port: int, in_vc: int) -> RouteDecision:
+        raise NotImplementedError
+
+    def accepts(self, src: int, dst: int) -> bool:
+        """May a message from src to dst enter the network?  Fault-
+        tolerant schemes refuse blocked sources/destinations (their
+        convex completion may exclude healthy nodes — the Condition-3
+        concession the paper discusses)."""
+        return True
+
+    def on_depart(self, router: "Router", header: Header,
+                  out_port: int, out_vc: int) -> None:
+        """Header bookkeeping when the head actually leaves (path-length
+        counter, misrouted mark, phase changes)."""
+        header.bump_path_len()
+
+    # -- introspection -----------------------------------------------------
+
+    def decision_steps_range(self) -> tuple[int, int]:
+        """(best, worst) interpretation steps per routing decision; the
+        paper's Section 5 time-overhead numbers."""
+        return (1, 1)
+
+    def describe(self) -> str:
+        lo, hi = self.decision_steps_range()
+        ft = "fault-tolerant" if self.fault_tolerant else "non-fault-tolerant"
+        return (f"{self.name}: {ft}, {self.n_vcs} VCs, "
+                f"{lo}-{hi} interpretation steps per decision")
+
+
+def order_by_adaptivity(candidates: list[tuple[int, int]],
+                        router: "Router") -> list[tuple[int, int]]:
+    """Default adaptivity criterion: prefer the output with the least
+    data still assigned to it (the NAFTA criterion — the amount of data
+    that still has to pass a node, approximated by downstream queue
+    occupancy plus committed worm remainders)."""
+    return sorted(candidates,
+                  key=lambda pv: (router.output_load(pv[0]), pv[0], pv[1]))

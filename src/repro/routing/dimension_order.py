@@ -1,0 +1,117 @@
+"""Oblivious dimension-order routing: XY on 2-D meshes, e-cube on
+hypercubes.
+
+These are the classic deadlock-free, non-fault-tolerant baselines the
+paper contrasts against ("switches using only oblivious routing
+schemes", Section 1): the whole path is fixed by source and
+destination, one virtual channel suffices on the mesh/hypercube, and a
+routing decision is a single interpretation step.
+"""
+
+from __future__ import annotations
+
+from ..sim.flit import Header
+from ..sim.topology import (EAST, NORTH, SOUTH, WEST, Hypercube, Mesh2D,
+                            Torus2D, Topology)
+from .base import RouteDecision, RoutingAlgorithm, RoutingError
+
+
+class XYRouting(RoutingAlgorithm):
+    """Deterministic XY: correct x first, then y.  Mesh only (a torus
+    needs extra VCs for the wrap-around cycle, see TorusDatelineXY)."""
+
+    name = "xy"
+    n_vcs = 1
+    fault_tolerant = False
+
+    def check_topology(self, topology: Topology) -> None:
+        if not isinstance(topology, Mesh2D) or isinstance(topology, Torus2D):
+            raise RoutingError("XY routing runs on 2-D meshes")
+
+    def route(self, router, header: Header, in_port: int,
+              in_vc: int) -> RouteDecision:
+        topo: Mesh2D = router.topology
+        x, y = topo.coords(router.node)
+        dx, dy = topo.coords(header.dst)
+        if (x, y) == (dx, dy):
+            return RouteDecision.delivery()
+        if dx > x:
+            port = EAST
+        elif dx < x:
+            port = WEST
+        elif dy > y:
+            port = NORTH
+        else:
+            port = SOUTH
+        return RouteDecision(candidates=[(port, 0)])
+
+
+class ECubeRouting(RoutingAlgorithm):
+    """Hypercube e-cube: correct the lowest differing dimension first.
+    Deadlock-free with one virtual channel (dimension order gives an
+    acyclic channel dependency graph)."""
+
+    name = "ecube"
+    n_vcs = 1
+    fault_tolerant = False
+
+    def check_topology(self, topology: Topology) -> None:
+        if not isinstance(topology, Hypercube):
+            raise RoutingError("e-cube routing runs on hypercubes")
+
+    def route(self, router, header: Header, in_port: int,
+              in_vc: int) -> RouteDecision:
+        diff = router.node ^ header.dst
+        if diff == 0:
+            return RouteDecision.delivery()
+        dim = (diff & -diff).bit_length() - 1  # lowest set bit
+        return RouteDecision(candidates=[(dim, 0)])
+
+
+class TorusDatelineXY(RoutingAlgorithm):
+    """XY on a 2-D torus with two VCs per direction and a dateline:
+    a worm starts on VC0 and switches to VC1 when it crosses the wrap
+    link of the current dimension, breaking the ring cycles."""
+
+    name = "torus_xy"
+    n_vcs = 2
+    fault_tolerant = False
+
+    def check_topology(self, topology: Topology) -> None:
+        if not isinstance(topology, Torus2D):
+            raise RoutingError("torus XY runs on 2-D tori")
+
+    def route(self, router, header: Header, in_port: int,
+              in_vc: int) -> RouteDecision:
+        topo: Torus2D = router.topology
+        x, y = topo.coords(router.node)
+        dx, dy = topo.coords(header.dst)
+        if (x, y) == (dx, dy):
+            return RouteDecision.delivery()
+        if x != dx:
+            right = (dx - x) % topo.width
+            left = (x - dx) % topo.width
+            port = EAST if right <= left else WEST
+            wraps = (port == EAST and x == topo.width - 1) or \
+                    (port == WEST and x == 0)
+        else:
+            up = (dy - y) % topo.height
+            down = (y - dy) % topo.height
+            port = NORTH if up <= down else SOUTH
+            wraps = (port == NORTH and y == topo.height - 1) or \
+                    (port == SOUTH and y == 0)
+        vc = header.fields.get("torus_vc", 0)
+        decision = RouteDecision(candidates=[(port, vc)])
+        # remember whether the hop we are about to take crosses a dateline
+        header.fields["_wraps_next"] = wraps
+        return decision
+
+    def on_depart(self, router, header: Header, out_port: int,
+                  out_vc: int) -> None:
+        super().on_depart(router, header, out_port, out_vc)
+        if header.fields.pop("_wraps_next", False):
+            header.fields["torus_vc"] = 1
+        # entering a new dimension resets the dateline class
+        if out_port in (NORTH, SOUTH) and header.fields.get("_dim") == "x":
+            header.fields["torus_vc"] = 0
+        header.fields["_dim"] = "x" if out_port in (EAST, WEST) else "y"

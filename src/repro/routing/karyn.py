@@ -1,0 +1,63 @@
+"""Dimension-order routing for k-ary n-cubes with dateline virtual
+channels.
+
+Generalizes :class:`~repro.routing.dimension_order.TorusDatelineXY` to
+any number of dimensions: a worm corrects dimensions in ascending
+order, taking the shorter way around each ring; within a dimension it
+starts on VC0 and switches to VC1 after crossing that ring's dateline
+(wrap link), which breaks the ring's channel cycle; entering the next
+dimension resets to VC0.  Deadlock-free by the standard
+dimension-order + dateline argument, oblivious and non-fault-tolerant —
+the k-ary n-cube baseline the torus literature the paper cites
+([ChB95a], [CyG94]) measures against.
+"""
+
+from __future__ import annotations
+
+from ..sim.flit import Header
+from ..sim.topology import KAryNCube, Topology
+from .base import RouteDecision, RoutingAlgorithm, RoutingError
+
+
+class KAryNCubeDOR(RoutingAlgorithm):
+    name = "karyn_dor"
+    n_vcs = 2
+    fault_tolerant = False
+
+    def check_topology(self, topology: Topology) -> None:
+        if not isinstance(topology, KAryNCube):
+            raise RoutingError("k-ary n-cube DOR needs a KAryNCube")
+
+    def route(self, router, header: Header, in_port: int,
+              in_vc: int) -> RouteDecision:
+        topo: KAryNCube = router.topology
+        cur = topo.coords(router.node)
+        dst = topo.coords(header.dst)
+        if cur == dst:
+            return RouteDecision.delivery()
+        for dim in range(topo.n):
+            if cur[dim] == dst[dim]:
+                continue
+            fwd = (dst[dim] - cur[dim]) % topo.k
+            bwd = (cur[dim] - dst[dim]) % topo.k
+            plus = fwd <= bwd
+            port = 2 * dim if plus else 2 * dim + 1
+            # does this hop cross the ring's wrap link (the dateline)?
+            wraps = (plus and cur[dim] == topo.k - 1) or \
+                    (not plus and cur[dim] == 0)
+            active = header.fields.get("kdim")
+            vc = header.fields.get("kvc", 0)
+            if active != dim:
+                vc = 0  # a new dimension starts on VC0
+            header.fields["_knext"] = (dim, wraps, vc)
+            return RouteDecision(candidates=[(port, vc)])
+        return RouteDecision.delivery()  # pragma: no cover
+
+    def on_depart(self, router, header: Header, out_port: int,
+                  out_vc: int) -> None:
+        super().on_depart(router, header, out_port, out_vc)
+        dim, wraps, vc = header.fields.pop("_knext", (None, False, 0))
+        if dim is None:  # pragma: no cover - ejection
+            return
+        header.fields["kdim"] = dim
+        header.fields["kvc"] = 1 if (wraps or vc == 1) else 0

@@ -1,0 +1,212 @@
+"""Distributed fault state for 2-D meshes (NAFTA's knowledge layer).
+
+The paper describes NAFTA's fault knowledge as wave-propagated node
+states oriented at geometric patterns (columns/rows), e.g.
+"dead-end-east" = all columns to the east have at least one fault, and
+says "concave fault patterns are completed to a convex shape excluding
+the use of some non-faulty nodes, violating condition 3"
+(Section 2.2).  [CuA95] is not available, so this module reconstructs
+that layer from the paper's description (see DESIGN.md Section 3):
+
+* **deactivation (convex completion)**: a healthy node deactivates when
+  it has a blocked (faulty or deactivated) neighbour in an x-direction
+  *and* one in a y-direction; iterated to fixpoint this completes fault
+  regions to rectangles ("fault blocks", as in the classic
+  Boppana/Chalasani model the paper cites);
+* **clear-run counters**: per node and direction, the number of
+  consecutive usable nodes before a blocked cell or the mesh border —
+  the information a router needs to decide whether the terminal run of
+  a turn-model path is safe.  Each counter is log2(mesh extent) bits,
+  i.e. constant per node, and is computed by exactly the wave-like
+  neighbour propagation the paper describes;
+* **dead-end flags**: the literal states of the paper
+  ("dead-end-east" etc.): every column strictly to the east (resp.
+  west/north/south rows/columns) contains at least one fault.
+
+Everything is recomputed in the diagnosis phase after each fault event
+(assumption iv), by fixpoint iteration that models the settling of the
+neighbour-exchange waves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.faults import FaultState
+from ..sim.topology import EAST, NORTH, SOUTH, WEST, Mesh2D
+
+
+@dataclass
+class MeshNodeState:
+    """Per-node distributed state (constant size per node)."""
+
+    faulty: bool = False
+    deactivated: bool = False
+    # consecutive usable nodes in each direction before a block/border
+    run: dict[int, int] = field(default_factory=lambda: {
+        EAST: 0, WEST: 0, NORTH: 0, SOUTH: 0})
+    # border-clear: True if the run in this direction reaches the mesh
+    # border without meeting a blocked cell
+    run_to_border: dict[int, bool] = field(default_factory=lambda: {
+        EAST: True, WEST: True, NORTH: True, SOUTH: True})
+    dead_end: dict[int, bool] = field(default_factory=lambda: {
+        EAST: False, WEST: False, NORTH: False, SOUTH: False})
+
+    @property
+    def blocked(self) -> bool:
+        """Blocked cells are excluded from routing (set 1 of the paper)."""
+        return self.faulty or self.deactivated
+
+
+class MeshFaultMap:
+    """The settled distributed state of all mesh nodes."""
+
+    def __init__(self, topology: Mesh2D, faults: FaultState):
+        self.topology = topology
+        self.faults = faults
+        self.states: list[MeshNodeState] = [MeshNodeState()
+                                            for _ in topology.nodes()]
+        self.propagation_rounds = 0
+        self.recompute()
+
+    # -- queries ------------------------------------------------------------
+
+    def state(self, node: int) -> MeshNodeState:
+        return self.states[node]
+
+    def blocked(self, node: int) -> bool:
+        return self.states[node].blocked
+
+    def usable_link(self, node: int, port: int) -> bool:
+        """Link alive and the far end is not a blocked cell."""
+        p = self.topology.port(node, port)
+        if p is None:
+            return False
+        if not self.faults.link_ok(node, p.neighbor):
+            return False
+        return not self.states[p.neighbor].blocked
+
+    def clear_run(self, node: int, direction: int) -> int:
+        return self.states[node].run[direction]
+
+    def run_reaches(self, node: int, direction: int, hops: int) -> bool:
+        """Can a straight run of ``hops`` usable hops start here?"""
+        return self.states[node].run[direction] >= hops
+
+    def n_deactivated(self) -> int:
+        return sum(1 for s in self.states if s.deactivated and not s.faulty)
+
+    def blocked_nodes(self) -> set[int]:
+        return {n for n in self.topology.nodes() if self.states[n].blocked}
+
+    # -- recomputation (the diagnosis phase) ----------------------------------
+
+    def recompute(self) -> None:
+        topo = self.topology
+        for n in topo.nodes():
+            st = self.states[n]
+            st.faulty = not self.faults.node_ok(n)
+            st.deactivated = False
+        self._converge_deactivation()
+        self._compute_runs()
+        self._compute_dead_ends()
+
+    def _blocked_neighbor(self, node: int, port: int) -> bool:
+        """Is the neighbour in this direction a blocked cell, or the
+        connecting link dead?  Mesh borders do NOT count as blocked
+        (otherwise every corner would deactivate)."""
+        p = self.topology.port(node, port)
+        if p is None:
+            return False
+        if not self.faults.link_ok(node, p.neighbor):
+            return True
+        return self.states[p.neighbor].blocked
+
+    def _converge_deactivation(self) -> None:
+        """Rectangular convex completion by wave propagation."""
+        topo = self.topology
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for n in topo.nodes():
+                st = self.states[n]
+                if st.blocked:
+                    continue
+                x_block = (self._blocked_neighbor(n, EAST)
+                           or self._blocked_neighbor(n, WEST))
+                y_block = (self._blocked_neighbor(n, NORTH)
+                           or self._blocked_neighbor(n, SOUTH))
+                if x_block and y_block:
+                    st.deactivated = True
+                    changed = True
+            if rounds > topo.n_nodes + 1:  # pragma: no cover - safety net
+                raise RuntimeError("deactivation failed to converge")
+        self.propagation_rounds = rounds
+
+    def _compute_runs(self) -> None:
+        """run[d] = usable hops in direction d before a block/border.
+
+        Computed by sweeping each direction once — the discrete result
+        of the wave-like neighbour exchange settling.
+        """
+        topo = self.topology
+        order = {
+            EAST: [topo.node_at(x, y) for y in range(topo.height)
+                   for x in range(topo.width - 1, -1, -1)],
+            WEST: [topo.node_at(x, y) for y in range(topo.height)
+                   for x in range(topo.width)],
+            NORTH: [topo.node_at(x, y) for x in range(topo.width)
+                    for y in range(topo.height - 1, -1, -1)],
+            SOUTH: [topo.node_at(x, y) for x in range(topo.width)
+                    for y in range(topo.height)],
+        }
+        for direction, nodes in order.items():
+            for n in nodes:
+                st = self.states[n]
+                p = self.topology.port(n, direction)
+                if p is None:
+                    st.run[direction] = 0
+                    st.run_to_border[direction] = True
+                    continue
+                if (not self.faults.link_ok(n, p.neighbor)
+                        or self.states[p.neighbor].blocked):
+                    st.run[direction] = 0
+                    st.run_to_border[direction] = False
+                    continue
+                nb = self.states[p.neighbor]
+                st.run[direction] = 1 + nb.run[direction]
+                st.run_to_border[direction] = nb.run_to_border[direction]
+
+    def _compute_dead_ends(self) -> None:
+        """The paper's literal dead-end states: dead_end[EAST] at (x,y)
+        means every column strictly east of x contains >= 1 fault."""
+        topo = self.topology
+        col_has_fault = [False] * topo.width
+        row_has_fault = [False] * topo.height
+        for n in topo.nodes():
+            if self.states[n].blocked:
+                x, y = topo.coords(n)
+                col_has_fault[x] = True
+                row_has_fault[y] = True
+        # suffix/prefix products
+        east_all = [True] * (topo.width + 1)   # east_all[x]: cols > x-1 ... helper
+        for x in range(topo.width - 1, -1, -1):
+            east_all[x] = east_all[x + 1] and col_has_fault[x]
+        west_all = [True] * (topo.width + 1)
+        for x in range(topo.width):
+            west_all[x + 1] = west_all[x] and col_has_fault[x]
+        north_all = [True] * (topo.height + 1)
+        for y in range(topo.height - 1, -1, -1):
+            north_all[y] = north_all[y + 1] and row_has_fault[y]
+        south_all = [True] * (topo.height + 1)
+        for y in range(topo.height):
+            south_all[y + 1] = south_all[y] and row_has_fault[y]
+        for n in topo.nodes():
+            x, y = topo.coords(n)
+            st = self.states[n]
+            st.dead_end[EAST] = east_all[x + 1]
+            st.dead_end[WEST] = west_all[x]
+            st.dead_end[NORTH] = north_all[y + 1]
+            st.dead_end[SOUTH] = south_all[y]

@@ -1,0 +1,119 @@
+"""Planar-Adaptive Routing (Chien/Kim [ChK92]).
+
+One of the two routers the paper names as "implementations of advanced
+adaptive routing methods [and] good references for the optimizations
+possible by choosing an appropriate routing algorithm" (Section 1).
+
+The idea: restrict adaptivity to a sequence of *planes*.  Plane ``A_i``
+spans dimensions ``d_i`` and ``d_(i+1)``; a message first routes fully
+adaptively within ``A_0`` until dimension 0 is corrected, then within
+``A_1``, and so on; the last plane corrects both of its dimensions.
+Within a plane there are two virtual networks selected by the sign of
+the remaining ``d_(i+1)`` offset — the increasing network only ever
+raises ``d_(i+1)``, the decreasing one only lowers it — and each
+network owns its own copy of the ``d_i`` channels, which is what makes
+each plane's channel dependency graph acyclic.
+
+Virtual channel budget (Chien/Kim's "three virtual channels"): a
+dimension-``j`` link carries
+
+* VC0 — plane ``A_j``, increasing network (``d_j`` is the first dim),
+* VC1 — plane ``A_j``, decreasing network,
+* VC2 — plane ``A_(j-1)`` (``d_j`` is the second dim; the link's
+  direction determines which network it serves).
+
+Plane order gives one-way cross-plane dependencies, so the whole graph
+is acyclic — machine-checked by the CDG tests.
+
+Fault handling (simplified reconstruction, documented): candidates are
+filtered by link health; a message whose in-plane candidates are all
+fault-blocked is declared unroutable rather than misrouted across
+planes.  This keeps the deadlock argument intact and matches the
+paper's framing of PAR as a *reference point*, not its subject.
+"""
+
+from __future__ import annotations
+
+from ..sim.flit import Header
+from ..sim.topology import Mesh2D, MeshND, Topology, Torus2D
+from .base import RouteDecision, RoutingAlgorithm, RoutingError
+
+VC_FIRST_INC = 0   # first-dim channels of the increasing network
+VC_FIRST_DEC = 1   # first-dim channels of the decreasing network
+VC_SECOND = 2      # second-dim channels (direction selects the network)
+
+
+class PlanarAdaptiveRouting(RoutingAlgorithm):
+    name = "par"
+    n_vcs = 3
+    fault_tolerant = True   # degrades gracefully; see module docstring
+
+    def check_topology(self, topology: Topology) -> None:
+        if isinstance(topology, Torus2D):
+            raise RoutingError("PAR needs meshes without wrap-around")
+        if not isinstance(topology, (MeshND, Mesh2D)):
+            raise RoutingError("PAR runs on n-dimensional meshes")
+
+    # -- coordinate helpers (Mesh2D or MeshND) ----------------------------
+
+    @staticmethod
+    def _coords(topo, node: int) -> tuple[int, ...]:
+        return tuple(topo.coords(node))
+
+    @staticmethod
+    def _n_dims(topo) -> int:
+        return topo.n_dims if isinstance(topo, MeshND) else 2
+
+    @staticmethod
+    def _port(topo, dim: int, positive: bool) -> int:
+        if isinstance(topo, MeshND):
+            return 2 * dim + (0 if positive else 1)
+        # Mesh2D: EAST=0 WEST=1 NORTH=2 SOUTH=3
+        if dim == 0:
+            return 0 if positive else 1
+        return 2 if positive else 3
+
+    # -- the decision -------------------------------------------------------
+
+    def route(self, router, header: Header, in_port: int,
+              in_vc: int) -> RouteDecision:
+        topo = router.topology
+        if router.node == header.dst:
+            return RouteDecision.delivery()
+        cur = self._coords(topo, router.node)
+        dst = self._coords(topo, header.dst)
+        n = self._n_dims(topo)
+
+        # current plane: the lowest i with a remaining offset, capped at
+        # the last plane (n-2), which corrects both of its dimensions
+        plane = 0
+        while plane < n - 1 and cur[plane] == dst[plane]:
+            plane += 1
+        plane = min(plane, max(0, n - 2))
+        d1 = plane
+        d2 = plane + 1
+
+        delta1 = dst[d1] - cur[d1]
+        delta2 = dst[d2] - cur[d2]
+        # network choice: sign of the second-dim offset (ties -> inc)
+        increasing = delta2 >= 0
+        first_vc = VC_FIRST_INC if increasing else VC_FIRST_DEC
+
+        candidates: list[tuple[int, int]] = []
+        if delta1 != 0:
+            port = self._port(topo, d1, delta1 > 0)
+            if router.port_alive(port):
+                candidates.append((port, first_vc))
+        if delta2 != 0:
+            port = self._port(topo, d2, delta2 > 0)
+            if router.port_alive(port):
+                candidates.append((port, VC_SECOND))
+        if not candidates:
+            # in-plane progress is impossible: either the message is
+            # boxed in by faults (unroutable — the simplification) or
+            # this cannot happen fault-free (both offsets zero was
+            # handled by plane advance / delivery)
+            return RouteDecision.unroutable()
+        ordered = sorted(candidates,
+                         key=lambda pv: (router.output_load(pv[0]), pv[0]))
+        return RouteDecision(candidates=ordered)

@@ -1,0 +1,43 @@
+"""Registry of routing algorithms by name (used by the experiment
+harness and the examples)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import RoutingAlgorithm
+from .dimension_order import ECubeRouting, TorusDatelineXY, XYRouting
+from .duato import DuatoMeshRouting
+from .karyn import KAryNCubeDOR
+from .nafta import NaftaRouting
+from .nara import NaraRouting
+from .planar_adaptive import PlanarAdaptiveRouting
+from .route_c import RouteCRouting, StrippedRouteC
+from .rule_driven import RuleDrivenNafta, RuleDrivenRouteC
+from .spanning_tree import SpanningTreeRouting
+from .updown import UpDownRouting
+
+ALGORITHMS: dict[str, Callable[[], RoutingAlgorithm]] = {
+    "xy": XYRouting,
+    "ecube": ECubeRouting,
+    "torus_xy": TorusDatelineXY,
+    "duato": DuatoMeshRouting,
+    "karyn_dor": KAryNCubeDOR,
+    "nara": NaraRouting,
+    "nafta": NaftaRouting,
+    "route_c": RouteCRouting,
+    "route_c_nft": StrippedRouteC,
+    "spanning_tree": SpanningTreeRouting,
+    "updown": UpDownRouting,
+    "par": PlanarAdaptiveRouting,
+    "nafta_rules": RuleDrivenNafta,
+    "route_c_rules": RuleDrivenRouteC,
+}
+
+
+def make_algorithm(name: str) -> RoutingAlgorithm:
+    try:
+        return ALGORITHMS[name]()
+    except KeyError:
+        raise ValueError(f"unknown routing algorithm {name!r}; choose from "
+                         f"{sorted(ALGORITHMS)}") from None

@@ -1,0 +1,10 @@
+"""Shipped DSL rule programs (NAFTA, ROUTE_C, merged ROUTE_C) with
+their FCFB function implementations and nft manifests."""
+
+from .loader import (NAFTA_FUNCTIONS, ROUTE_C_FUNCTIONS, RULESETS,
+                     RulesetSpec, compile_ruleset, load_ruleset,
+                     ruleset_source)
+
+__all__ = ["NAFTA_FUNCTIONS", "ROUTE_C_FUNCTIONS", "RULESETS",
+           "RulesetSpec", "compile_ruleset", "load_ruleset",
+           "ruleset_source"]

@@ -1,0 +1,27 @@
+"""Flit-level wormhole network simulator (the evaluation substrate).
+
+Topologies, fail-stop fault model, virtual-channel wormhole routers
+with credit flow control and configurable routing-decision latency,
+synthetic traffic, and statistics.
+"""
+
+from .arbiter import Arbiter, MisroutedFirstArbiter, OldestFirstArbiter, make_arbiter
+from .config import SimConfig
+from .faults import FaultEvent, FaultSchedule, FaultState, random_link_faults
+from .flit import Flit, FlitKind, Header, Message, reset_message_ids
+from .network import DeadlockError, Network
+from .router import LOCAL, Router
+from .stats import StatsCollector
+from .topology import (EAST, NORTH, SOUTH, WEST, Hypercube, KAryNCube,
+                       Mesh2D, MeshND, Port, Topology, Torus2D, link_key)
+from .traffic import PATTERNS, TrafficGenerator
+
+__all__ = [
+    "Arbiter", "MisroutedFirstArbiter", "OldestFirstArbiter", "make_arbiter",
+    "SimConfig", "FaultEvent", "FaultSchedule", "FaultState",
+    "random_link_faults", "Flit", "FlitKind", "Header", "Message",
+    "reset_message_ids", "DeadlockError", "Network", "LOCAL", "Router",
+    "StatsCollector", "EAST", "NORTH", "SOUTH", "WEST", "Hypercube",
+    "KAryNCube", "Mesh2D", "MeshND", "Port", "Topology", "Torus2D", "link_key",
+    "PATTERNS", "TrafficGenerator",
+]

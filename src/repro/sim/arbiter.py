@@ -1,0 +1,97 @@
+"""Switch/VC arbitration policies (the paper's "Scheduling and
+Fairness" subgoal, Section 3).
+
+An arbiter picks, for one output port, among the input virtual
+channels requesting it this cycle.  The paper notes fairness "acts like
+adaptivity in the small" and that it "may be desirable to favor
+messages misrouted due to faults to compensate the double disadvantage
+of the longer path and higher loaded links" — which
+:class:`MisroutedFirstArbiter` implements.
+"""
+
+from __future__ import annotations
+
+from ..sim.flit import Header
+
+
+class Request:
+    """One input VC's request for an output this cycle."""
+
+    __slots__ = ("in_port", "in_vc", "out_port", "out_vc", "header",
+                 "is_head")
+
+    def __init__(self, in_port: int, in_vc: int, out_port: int, out_vc: int,
+                 header: Header | None, is_head: bool):
+        self.in_port = in_port
+        self.in_vc = in_vc
+        self.out_port = out_port
+        self.out_vc = out_vc
+        self.header = header
+        self.is_head = is_head
+
+
+class Arbiter:
+    """Base: strict round-robin over (in_port, in_vc)."""
+
+    name = "round_robin"
+
+    def __init__(self):
+        self._pointers: dict[int, int] = {}
+
+    def choose(self, out_port: int, requests: list[Request]) -> Request:
+        if not requests:
+            raise ValueError("no requests to arbitrate")
+        requests = sorted(requests, key=self._key)
+        ptr = self._pointers.get(out_port, 0)
+        # first requester at or after the pointer position
+        chosen = min(requests,
+                     key=lambda r: ((self._key(r) < ptr), self._key(r)))
+        self._pointers[out_port] = self._key(chosen) + 1
+        return chosen
+
+    @staticmethod
+    def _key(r: Request) -> int:
+        return r.in_port * 64 + r.in_vc
+
+
+class MisroutedFirstArbiter(Arbiter):
+    """Favors worms already misrouted by faults, then round-robin."""
+
+    name = "misrouted_first"
+
+    def choose(self, out_port: int, requests: list[Request]) -> Request:
+        misrouted = [r for r in requests
+                     if r.header is not None and r.header.misrouted]
+        if misrouted:
+            return super().choose(out_port, misrouted)
+        return super().choose(out_port, requests)
+
+
+class OldestFirstArbiter(Arbiter):
+    """Age-based fairness: the worm created earliest wins (strong
+    starvation freedom, more comparator hardware)."""
+
+    name = "oldest_first"
+
+    def choose(self, out_port: int, requests: list[Request]) -> Request:
+        with_hdr = [r for r in requests if r.header is not None]
+        if with_hdr:
+            oldest = min(with_hdr, key=lambda r: (r.header.created,
+                                                  r.header.msg_id))
+            return oldest
+        return super().choose(out_port, requests)
+
+
+ARBITERS = {
+    "round_robin": Arbiter,
+    "misrouted_first": MisroutedFirstArbiter,
+    "oldest_first": OldestFirstArbiter,
+}
+
+
+def make_arbiter(name: str) -> Arbiter:
+    try:
+        return ARBITERS[name]()
+    except KeyError:
+        raise ValueError(f"unknown arbiter {name!r}; "
+                         f"choose from {sorted(ARBITERS)}") from None

@@ -1,0 +1,42 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of the flit-level wormhole simulator.
+
+    ``cycles_per_step`` converts rule-interpretation steps into router
+    cycles (paper Section 4.3 delay model: one step = wiring + 2 x FCFB
+    + one table access; with the default 1998-era numbers that fits one
+    10 ns router cycle).  The decision-time benchmarks sweep it.
+    """
+
+    buffer_depth: int = 4          # flits per virtual-channel buffer
+    cycles_per_step: int = 1       # router cycles per interpretation step
+    injection_vc: int = 0          # local-port VC messages enter through
+    fault_mode: str = "quiesce"    # "quiesce" honours assumption iv;
+    #                                "harsh" kills worms on dying links
+    retransmit_dropped: bool = False
+    detection_delay: int = 0       # cycles between a fault occurring and
+    #                                the Information Units confirming it
+    #                                (heartbeat detection; harsh mode only)
+    trace_paths: bool = False      # record per-message node paths
+    deadlock_threshold: int = 2000  # cycles without progress => deadlock
+
+    def __post_init__(self):
+        if self.buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        if self.cycles_per_step < 0:
+            raise ValueError("cycles_per_step must be >= 0")
+        if self.fault_mode not in ("quiesce", "harsh"):
+            raise ValueError(f"unknown fault_mode {self.fault_mode!r}")
+        if self.detection_delay < 0:
+            raise ValueError("detection_delay must be >= 0")
+        if self.detection_delay and self.fault_mode != "harsh":
+            raise ValueError("detection_delay needs fault_mode='harsh' "
+                             "(quiesce mode models instantaneous, "
+                             "message-safe diagnosis)")

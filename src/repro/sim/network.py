@@ -1,0 +1,369 @@
+"""The network: routers + links + fault handling + the cycle loop.
+
+One ``Network.step()`` advances every router through the cycle phases:
+
+1. flush staged incoming flits into buffers (1-cycle link latency),
+2. inject source-queue flits through local ports,
+3. routing stage (decision latency in interpretation steps),
+4. virtual-channel + switch allocation, flit transfers, ejection,
+5. fault schedule processing and progress watchdog.
+
+Fault handling implements the paper's assumption iv ("no message is
+affected during the diagnosis phase"): in ``quiesce`` mode injection
+pauses and the network drains before a dynamic fault is applied and the
+routing algorithm's distributed state is recomputed atomically.  The
+``harsh`` mode instead rips up worms caught on the dying link — the
+situation the paper notes must otherwise be solved by re-injection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .config import SimConfig
+from .faults import FaultSchedule, FaultState
+from .flit import Flit, Message
+from .router import LOCAL, Router
+from .stats import StatsCollector
+from .arbiter import Arbiter, make_arbiter
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..routing.base import RoutingAlgorithm
+
+
+class DeliveryError(RuntimeError):
+    """A flit was ejected at a node other than its destination —
+    always a routing-algorithm bug, never a legitimate outcome."""
+
+
+class DeadlockError(RuntimeError):
+    """No flit moved for ``deadlock_threshold`` cycles while worms were
+    in flight — a routing-algorithm deadlock (or a livelock so slow it
+    is indistinguishable from one)."""
+
+
+@dataclass
+class _SourceState:
+    queue: deque = field(default_factory=deque)     # pending Messages
+    current: list[Flit] = field(default_factory=list)  # worm being injected
+    current_msg: Message | None = None
+
+
+class Network:
+    def __init__(self, topology: Topology, algorithm: "RoutingAlgorithm",
+                 config: SimConfig | None = None,
+                 arbiter: str | Arbiter = "round_robin"):
+        algorithm.check_topology(topology)
+        self.topology = topology
+        self.algorithm = algorithm
+        self.config = config or SimConfig()
+        self.faults = FaultState(topology)
+        # the routers' *knowledge* of the fault set: an alias of the
+        # ground truth unless a detection delay is configured, in which
+        # case the Information Units confirm faults only after the
+        # heartbeat timeout (paper Fig. 3: "they could produce and
+        # check heartbeat messages")
+        if self.config.detection_delay:
+            self.known_faults = FaultState(topology)
+        else:
+            self.known_faults = self.faults
+        self._pending_detections: list[tuple[int, object]] = []
+        self.stats = StatsCollector()
+        self.cycle = 0
+        self.routers = [Router(self, n) for n in topology.nodes()]
+        self.sources = [_SourceState() for _ in topology.nodes()]
+        self.messages: dict[int, Message] = {}
+        self.fault_schedule = FaultSchedule()
+        self.traffic = None
+        self._eject_progress: dict[int, int] = {}  # msg_id -> flits ejected
+        self._last_progress = 0
+        self._injection_paused = False
+        self.arbiter = (arbiter if isinstance(arbiter, Arbiter)
+                        else make_arbiter(arbiter))
+        algorithm.reset(self)
+
+    # -- configuration ------------------------------------------------------
+
+    def attach_traffic(self, traffic) -> None:
+        self.traffic = traffic
+
+    def schedule_faults(self, schedule: FaultSchedule) -> None:
+        self.fault_schedule = schedule
+        for ev in schedule.due(0):
+            self._apply_fault_now(ev)
+            if self.known_faults is not self.faults:
+                # faults present at boot are already diagnosed: the
+                # detection delay models *dynamic* failures only
+                self.known_faults.apply(ev)
+        if schedule.due(0):
+            self.algorithm.on_fault_update(self)
+
+    def set_warmup(self, cycles: int) -> None:
+        self.stats.warmup = cycles
+
+    # -- message injection -----------------------------------------------------
+
+    def offer(self, src: int, dst: int, length: int, **fields) -> Message | None:
+        """Create a message at a source node.  Honours assumption iii:
+        messages to dead or disconnected destinations are refused and
+        counted as unroutable."""
+        if not self.faults.node_ok(src):
+            self.stats.count_unroutable()
+            return None
+        if not self.faults.node_ok(dst) or not self.faults.connected(src, dst):
+            self.stats.count_unroutable()
+            return None
+        if not self.algorithm.accepts(src, dst):
+            self.stats.count_unroutable()
+            return None
+        msg = Message.create(src, dst, length, self.cycle, **fields)
+        self.messages[msg.header.msg_id] = msg
+        self.sources[src].queue.append(msg)
+        return msg
+
+    def _inject_phase(self) -> None:
+        vc = self.config.injection_vc
+        for node, src in enumerate(self.sources):
+            if not self.faults.node_ok(node):
+                continue
+            if not src.current and src.queue:
+                if self._injection_paused:
+                    # quiescing for a fault: no new worms start, but
+                    # half-injected worms must finish entering or the
+                    # network can never drain
+                    continue
+                msg = src.queue.popleft()
+                src.current = msg.flits()
+                src.current_msg = msg
+            if not src.current:
+                continue
+            iv = self.routers[node].input_vcs[LOCAL][vc]
+            if iv.space > 0:
+                flit = src.current.pop(0)
+                iv.incoming.append(flit)  # enters the buffer next cycle
+                self.routers[node].n_flits += 1
+                if flit.is_head:
+                    assert src.current_msg is not None
+                    src.current_msg.injected = self.cycle
+                if not src.current:
+                    src.current_msg = None
+
+    # -- ejection ------------------------------------------------------------------
+
+    def eject(self, node: int, flit: Flit, cycle: int) -> None:
+        self.stats.count_delivered_flit()
+        msg = self.messages.get(flit.msg_id)
+        if msg is None:  # pragma: no cover - defensive
+            return
+        if flit.is_tail:
+            msg.delivered = cycle
+            msg.hops = msg.header.path_len
+            if msg.header.dst != node:
+                raise DeliveryError(
+                    f"message {msg.header.msg_id} for node {msg.header.dst} "
+                    f"was delivered at node {node}")
+            self.stats.count_message(msg)
+
+    # -- cycle loop ---------------------------------------------------------------------
+
+    def step(self) -> None:
+        self.stats.now = self.cycle
+        for ev in self.fault_schedule.due(self.cycle):
+            if self.cycle == 0:
+                continue  # applied by schedule_faults
+            self.apply_fault(ev)
+        if self._pending_detections:
+            due = [e for c, e in self._pending_detections if c <= self.cycle]
+            self._pending_detections = [
+                (c, e) for c, e in self._pending_detections if c > self.cycle]
+            for ev in due:
+                self._confirm_fault(ev)
+        for r in self.routers:
+            r.flush_incoming()
+        self._inject_phase()
+        if self.traffic is not None and not self._injection_paused:
+            for src, dst, length in self.traffic.tick(self.cycle):
+                self.offer(src, dst, length)
+        for r in self.routers:
+            r.route_stage(self.cycle)
+        moved = self._allocate_and_transfer()
+        if moved:
+            self._last_progress = self.cycle
+        elif self._flits_in_flight() and (
+                self.cycle - self._last_progress
+                > self.config.deadlock_threshold):
+            raise DeadlockError(
+                f"no progress since cycle {self._last_progress} with "
+                f"{self._flits_in_flight()} flits in flight "
+                f"(algorithm {self.algorithm.name})")
+        self.cycle += 1
+
+    def _allocate_and_transfer(self) -> int:
+        moved = 0
+        for r in self.routers:
+            if not self.faults.node_ok(r.node):
+                continue
+            requests = r.collect_requests()
+            if not requests:
+                continue
+            by_output: dict[int, list] = {}
+            for req in requests:
+                by_output.setdefault(req.out_port, []).append(req)
+            used_inputs: set[tuple[int, int]] = set()
+            for out_port in sorted(by_output):
+                pool = [q for q in by_output[out_port]
+                        if (q.in_port, q.in_vc) not in used_inputs]
+                if not pool:
+                    continue
+                req = self.arbiter.choose(out_port, pool)
+                r.grant(req, self.cycle)
+                used_inputs.add((req.in_port, req.in_vc))
+                moved += 1
+        return moved
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_drained(self, max_cycles: int = 200_000) -> None:
+        """Step until no flits remain anywhere (sources included)."""
+        for _ in range(max_cycles):
+            if not self._flits_in_flight() and not self._pending_sources():
+                return
+            self.step()
+        raise DeadlockError(f"network failed to drain within {max_cycles} "
+                            f"cycles")
+
+    # -- fault application ------------------------------------------------------------------
+
+    def apply_fault(self, event) -> None:
+        if self.config.fault_mode == "quiesce":
+            self._drain_for_fault()
+            self._apply_fault_now(event)
+            self.algorithm.on_fault_update(self)
+            return
+        # harsh mode: the physical fault is immediate ...
+        self._apply_fault_now(event)
+        if self.config.detection_delay:
+            # ... but the routers only learn of it after the heartbeat
+            # timeout; worms caught on the link stall until then
+            self._pending_detections.append(
+                (self.cycle + self.config.detection_delay, event))
+        else:
+            self._confirm_fault(event)
+
+    def _confirm_fault(self, event) -> None:
+        """The diagnosis completes: rip up stalled worms, update the
+        known fault set, recompute distributed algorithm state."""
+        self._rip_up_worms(event)
+        if self.known_faults is not self.faults:
+            self.known_faults.apply(event)
+        self.algorithm.on_fault_update(self)
+
+    def _apply_fault_now(self, event) -> None:
+        self.faults.apply(event)
+        if event.kind == "node":
+            # a dead node's source queue and buffered flits are gone
+            node = int(event.target)
+            self.sources[node].queue.clear()
+            self.sources[node].current = []
+            self.sources[node].current_msg = None
+
+    def _drain_for_fault(self) -> None:
+        """Assumption iv: let in-flight messages complete before the
+        fault takes effect (injection paused meanwhile)."""
+        self._injection_paused = True
+        guard = 0
+        while (self._flits_in_flight()
+               or any(s.current for s in self.sources)):
+            self._step_drain()
+            guard += 1
+            if guard > self.config.deadlock_threshold * 10:
+                raise DeadlockError("network failed to quiesce for a fault")
+        self._injection_paused = False
+
+    def _step_drain(self) -> None:
+        self.stats.now = self.cycle
+        for r in self.routers:
+            r.flush_incoming()
+        self._inject_phase()  # half-injected worms finish entering
+        for r in self.routers:
+            r.route_stage(self.cycle)
+        self._allocate_and_transfer()
+        self.cycle += 1
+
+    def _rip_up_worms(self, event) -> None:
+        """'harsh' mode: kill worms using the dying link/node."""
+        victims: set[int] = set()
+        if event.kind == "link":
+            a, b = event.target
+            for node, pid_ok in ((a, b), (b, a)):
+                router = self.routers[node]
+                for pid, port in router.ports.items():
+                    if port.neighbor == pid_ok:
+                        victims |= router.worms_using_port(pid)
+        else:
+            node = int(event.target)
+            router = self.routers[node]
+            for vcs in router.input_vcs.values():
+                for iv in vcs:
+                    for f in list(iv.buffer) + list(iv.incoming):
+                        victims.add(f.msg_id)
+            for r in self.routers:
+                for pid, port in r.ports.items():
+                    if port.neighbor == node:
+                        victims |= r.worms_using_port(pid)
+        for msg_id in victims:
+            self.drop_message(msg_id)
+
+    def message_stuck(self, msg_id: int) -> None:
+        """The routing algorithm declared a message permanently
+        unroutable mid-flight (Condition-3 violation): remove it and
+        count it separately from fault-ripped drops."""
+        for r in self.routers:
+            r.purge_message(msg_id)
+        msg = self.messages.get(msg_id)
+        if msg is not None:
+            src = self.sources[msg.header.src]
+            if src.current_msg is msg:
+                src.current = []
+                src.current_msg = None
+            msg.dropped = True
+            msg.header.fields["stuck"] = True
+        self.stats.messages_stuck += 1
+
+    def drop_message(self, msg_id: int) -> None:
+        for r in self.routers:
+            r.purge_message(msg_id)
+        msg = self.messages.get(msg_id)
+        if msg is None:  # pragma: no cover
+            return
+        src = self.sources[msg.header.src]
+        if src.current_msg is msg:
+            src.current = []
+            src.current_msg = None
+        msg.dropped = True
+        self.stats.count_dropped()
+        if self.config.retransmit_dropped and not msg.delivered:
+            # the re-injection recovery the paper sketches for messages
+            # ripped up by a link fault; the copy records its original
+            self.offer(msg.header.src, msg.header.dst, msg.header.length,
+                       retry_of=msg.header.msg_id)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def _flits_in_flight(self) -> int:
+        return sum(r.occupancy() for r in self.routers)
+
+    def _pending_sources(self) -> int:
+        return sum(len(s.queue) + len(s.current) for s in self.sources)
+
+    def in_flight(self) -> int:
+        return self._flits_in_flight()
+
+    def undelivered(self) -> list[Message]:
+        return [m for m in self.messages.values()
+                if m.delivered is None and not m.dropped]

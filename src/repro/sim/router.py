@@ -1,0 +1,326 @@
+"""Wormhole router model.
+
+Mirrors the paper's architecture (Figure 3): input/output buffers per
+virtual channel form the data path; the control unit (here: a
+:class:`~repro.routing.base.RoutingAlgorithm`, which in turn may be a
+compiled rule program) makes routing decisions that take a configurable
+number of interpretation steps; the connection unit is a crossbar that
+moves at most one flit per input port and one per output port each
+cycle; the message interface lets the control read and modify headers.
+
+Flow control is credit-accurate: a flit is only forwarded when the
+downstream virtual-channel buffer has space for it *this* cycle
+(incoming flits staged by other routers count).  Virtual-channel
+allocation is wormhole-standard: an output VC belongs to one worm from
+head grant to tail traversal.
+
+The local injection/ejection port is ``LOCAL`` (= -1): injected worms
+enter through local input VC buffers and take part in normal routing;
+delivered worms leave through the local output port (one flit per
+cycle, like any physical port, but with no downstream buffer limit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .arbiter import Request
+from .flit import Flit, Header
+from .topology import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+LOCAL = -1
+
+IDLE = "idle"        # no worm assigned; head (if any) needs a route
+ROUTING = "routing"  # decision made, waiting out the decision latency
+ROUTED = "routed"    # eligible for VC/switch allocation
+ACTIVE = "active"    # worm holds an output VC; body/tail streaming
+
+
+@dataclass
+class InputVC:
+    port: int
+    vc: int
+    capacity: int
+    buffer: deque = field(default_factory=deque)
+    incoming: list = field(default_factory=list)
+    state: str = IDLE
+    decision: "object | None" = None       # RouteDecision while ROUTED
+    ready_cycle: int = 0                   # decision latency expiry
+    out_port: int | None = None
+    out_vc: int | None = None
+    header: Header | None = None           # header of the current worm
+
+    @property
+    def space(self) -> int:
+        return self.capacity - len(self.buffer) - len(self.incoming)
+
+    @property
+    def front(self) -> Flit | None:
+        return self.buffer[0] if self.buffer else None
+
+    def flush_incoming(self) -> None:
+        if self.incoming:
+            self.buffer.extend(self.incoming)
+            self.incoming.clear()
+
+    def release_worm(self) -> None:
+        self.state = IDLE
+        self.decision = None
+        self.out_port = None
+        self.out_vc = None
+        self.header = None
+
+
+@dataclass
+class OutputVC:
+    port: int
+    vc: int
+    owner: tuple[int, int] | None = None   # (in_port, in_vc) of the worm
+
+
+class Router:
+    def __init__(self, network: "Network", node: int):
+        self.network = network
+        self.node = node
+        self.topology = network.topology
+        cfg = network.config
+        n_vcs = network.algorithm.n_vcs
+        self.n_vcs = n_vcs
+        self.ports: dict[int, Port] = dict(self.topology.ports(node))
+        port_ids = [LOCAL] + sorted(self.ports)
+        self.input_vcs: dict[int, list[InputVC]] = {
+            pid: [InputVC(pid, v, cfg.buffer_depth) for v in range(n_vcs)]
+            for pid in port_ids}
+        self.output_vcs: dict[int, list[OutputVC]] = {
+            pid: [OutputVC(pid, v) for v in range(n_vcs)]
+            for pid in port_ids}
+        # incremental flit count (kept in sync by the transfer sites)
+        self.n_flits = 0
+        self._alive_version = -1
+        self._alive: dict[int, bool] = {}
+
+    # -- views used by routing algorithms ---------------------------------------
+
+    def _refresh_alive(self) -> None:
+        faults = self.network.faults
+        if self._alive_version != faults.version:
+            self._alive = {pid: faults.port_ok(self.node, pid)
+                           for pid in self.ports}
+            self._alive_version = faults.version
+
+    def alive_ports(self) -> list[int]:
+        self._refresh_alive()
+        return [pid for pid, ok in self._alive.items() if ok]
+
+    def port_alive(self, pid: int) -> bool:
+        if pid == LOCAL:
+            return True
+        self._refresh_alive()
+        return self._alive.get(pid, False)
+
+    def neighbor(self, pid: int) -> int | None:
+        p = self.ports.get(pid)
+        return p.neighbor if p else None
+
+    def output_free(self, pid: int, vc: int) -> bool:
+        """Can a new head claim this output VC right now?"""
+        if not self.port_alive(pid):
+            return False
+        if self.output_vcs[pid][vc].owner is not None:
+            return False
+        return self.credits(pid, vc) > 0
+
+    def credits(self, pid: int, vc: int) -> int:
+        """Free space in the downstream buffer this output feeds."""
+        if pid == LOCAL:
+            return 1 << 30
+        port = self.ports[pid]
+        down = self.network.routers[port.neighbor]
+        return down.input_vcs[port.neighbor_port][vc].space
+
+    def output_load(self, pid: int) -> int:
+        """Adaptivity metric: data committed to this output — occupied
+        downstream buffer slots plus worms holding its VCs."""
+        if pid == LOCAL:
+            return 0
+        port = self.ports[pid]
+        down = self.network.routers[port.neighbor]
+        occupancy = sum(len(iv.buffer) + len(iv.incoming)
+                        for iv in down.input_vcs[port.neighbor_port])
+        owned = sum(1 for ov in self.output_vcs[pid] if ov.owner is not None)
+        return occupancy + owned
+
+    def queue_length(self, pid: int, vc: int) -> int:
+        """Occupancy of the downstream VC buffer (NARA's mean_queue)."""
+        if pid == LOCAL:
+            return 0
+        port = self.ports[pid]
+        down = self.network.routers[port.neighbor]
+        iv = down.input_vcs[port.neighbor_port][vc]
+        return len(iv.buffer) + len(iv.incoming)
+
+    # -- cycle phases (driven by Network.step) --------------------------------------
+
+    def flush_incoming(self) -> None:
+        for vcs in self.input_vcs.values():
+            for iv in vcs:
+                iv.flush_incoming()
+
+    def route_stage(self, cycle: int) -> None:
+        """Compute routes for heads at the front of IDLE input VCs and
+        refresh candidate lists for ROUTED (possibly blocked) heads."""
+        if self.n_flits == 0:
+            return
+        algo = self.network.algorithm
+        cfg = self.network.config
+        stuck_messages: list[int] = []
+        for vcs in self.input_vcs.values():
+            for iv in vcs:
+                front = iv.front
+                if front is None:
+                    continue
+                if iv.state == IDLE:
+                    if not front.is_head:
+                        raise RuntimeError(
+                            f"node {self.node}: body flit of message "
+                            f"{front.msg_id} at the front of an idle VC")
+                    header = front.header
+                    assert header is not None
+                    decision = algo.route(self, header, iv.port, iv.vc)
+                    self.network.stats.count_decision(decision.steps)
+                    latency = max(1, decision.steps * cfg.cycles_per_step)
+                    iv.state = ROUTING
+                    iv.header = header
+                    iv.decision = decision
+                    iv.ready_cycle = cycle + latency - 1
+                if iv.state == ROUTING and cycle >= iv.ready_cycle:
+                    iv.state = ROUTED
+                elif iv.state == ROUTED:
+                    # refresh adaptivity ordering while blocked (the
+                    # hardware's premises are continuously evaluated);
+                    # costs no additional interpretation steps.
+                    assert iv.header is not None
+                    iv.decision = algo.route(self, iv.header, iv.port, iv.vc)
+                if iv.state == ROUTED and iv.decision is not None \
+                        and getattr(iv.decision, "stuck", False):
+                    assert iv.header is not None
+                    stuck_messages.append(iv.header.msg_id)
+        for msg_id in stuck_messages:
+            self.network.message_stuck(msg_id)
+
+    def collect_requests(self) -> list[Request]:
+        """Requests for this cycle's switch allocation."""
+        out: list[Request] = []
+        if self.n_flits == 0:
+            return out
+        for vcs in self.input_vcs.values():
+            for iv in vcs:
+                front = iv.front
+                if front is None:
+                    continue
+                if iv.state == ROUTED:
+                    decision = iv.decision
+                    assert decision is not None
+                    if decision.deliver:
+                        out.append(Request(iv.port, iv.vc, LOCAL, iv.vc,
+                                           iv.header, True))
+                        continue
+                    for pid, vc in decision.candidates:
+                        if self.output_free(pid, vc):
+                            out.append(Request(iv.port, iv.vc, pid, vc,
+                                               iv.header, True))
+                            break  # one request per input VC per cycle
+                elif iv.state == ACTIVE:
+                    assert iv.out_port is not None and iv.out_vc is not None
+                    # a dead link stalls the worm where it stands (it is
+                    # ripped up when the fault is confirmed)
+                    if self.port_alive(iv.out_port) \
+                            and self.credits(iv.out_port, iv.out_vc) > 0:
+                        out.append(Request(iv.port, iv.vc, iv.out_port,
+                                           iv.out_vc, iv.header, False))
+        return out
+
+    def grant(self, req: Request, cycle: int) -> None:
+        """Execute one granted request: move the front flit."""
+        iv = self.input_vcs[req.in_port][req.in_vc]
+        flit = iv.buffer.popleft()
+        self.n_flits -= 1
+        if req.is_head:
+            if req.out_port != LOCAL:
+                self.output_vcs[req.out_port][req.out_vc].owner = (
+                    req.in_port, req.in_vc)
+            else:
+                self.output_vcs[LOCAL][req.out_vc].owner = (
+                    req.in_port, req.in_vc)
+            iv.state = ACTIVE
+            iv.out_port = req.out_port
+            iv.out_vc = req.out_vc
+            assert iv.header is not None
+            self.network.algorithm.on_depart(self, iv.header, req.out_port,
+                                             req.out_vc)
+            if self.network.config.trace_paths:
+                iv.header.fields.setdefault("trace", []).append(self.node)
+        if flit.is_tail:
+            self.output_vcs[req.out_port][req.out_vc].owner = None
+            iv.release_worm()
+        self._forward(flit, req.out_port, req.out_vc, cycle)
+
+    def _forward(self, flit: Flit, out_port: int, out_vc: int,
+                 cycle: int) -> None:
+        net = self.network
+        if out_port == LOCAL:
+            net.eject(self.node, flit, cycle)
+            return
+        port = self.ports[out_port]
+        if not self.port_alive(out_port):  # pragma: no cover - guarded earlier
+            raise RuntimeError(f"node {self.node}: forwarding over the dead "
+                               f"port {out_port}")
+        down = net.routers[port.neighbor]
+        target = down.input_vcs[port.neighbor_port][out_vc]
+        if target.space <= 0:  # pragma: no cover - credit check guards this
+            raise RuntimeError(
+                f"buffer overflow: node {self.node} -> {port.neighbor} "
+                f"port {port.neighbor_port} vc {out_vc}")
+        target.incoming.append(flit)
+        down.n_flits += 1
+        net.stats.count_flit_hop()
+
+    # -- fault handling -----------------------------------------------------------
+
+    def worms_using_port(self, pid: int) -> set[int]:
+        """Message ids of worms currently assigned to output ``pid``."""
+        out = set()
+        for vcs in self.input_vcs.values():
+            for iv in vcs:
+                if iv.state == ACTIVE and iv.out_port == pid and iv.header:
+                    out.add(iv.header.msg_id)
+        return out
+
+    def purge_message(self, msg_id: int) -> int:
+        """Remove every flit of a message from this router; returns the
+        number of flits dropped.  Used by the 'harsh' fault mode."""
+        dropped = 0
+        for vcs in self.input_vcs.values():
+            for iv in vcs:
+                before = len(iv.buffer) + len(iv.incoming)
+                iv.buffer = deque(f for f in iv.buffer if f.msg_id != msg_id)
+                iv.incoming = [f for f in iv.incoming if f.msg_id != msg_id]
+                dropped += before - len(iv.buffer) - len(iv.incoming)
+                if iv.header is not None and iv.header.msg_id == msg_id:
+                    if iv.out_port is not None:
+                        ov = self.output_vcs[iv.out_port][iv.out_vc]
+                        if ov.owner == (iv.port, iv.vc):
+                            ov.owner = None
+                    iv.release_worm()
+                elif iv.state != IDLE and iv.header is None:  # pragma: no cover
+                    iv.release_worm()
+        self.n_flits -= dropped
+        return dropped
+
+    def occupancy(self) -> int:
+        return self.n_flits

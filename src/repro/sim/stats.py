@@ -1,0 +1,127 @@
+"""Simulation statistics: latency, throughput, decision steps.
+
+Measurement windows follow interconnection-network practice: a warm-up
+period is excluded, then latency is averaged over messages *created*
+inside the measurement window and throughput over flits delivered in
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .flit import Message
+
+
+@dataclass
+class StatsCollector:
+    warmup: int = 0
+    now: int = 0
+
+    flit_hops: int = 0
+    flits_delivered: int = 0
+    flits_delivered_measured: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_unroutable: int = 0
+    messages_stuck: int = 0
+    decisions: int = 0
+    decision_steps: int = 0
+    max_decision_steps: int = 0
+    _latencies: list[int] = field(default_factory=list)
+    _network_latencies: list[int] = field(default_factory=list)
+    _hops: list[int] = field(default_factory=list)
+    _misrouted: int = 0
+
+    # -- recording -----------------------------------------------------
+
+    def count_flit_hop(self) -> None:
+        self.flit_hops += 1
+
+    def count_decision(self, steps: int) -> None:
+        self.decisions += 1
+        self.decision_steps += steps
+        if steps > self.max_decision_steps:
+            self.max_decision_steps = steps
+
+    def count_delivered_flit(self) -> None:
+        self.flits_delivered += 1
+        if self.now >= self.warmup:
+            self.flits_delivered_measured += 1
+
+    def count_message(self, msg: Message) -> None:
+        self.messages_delivered += 1
+        if msg.header.created >= self.warmup:
+            lat = msg.latency
+            nlat = msg.network_latency
+            if lat is not None:
+                self._latencies.append(lat)
+            if nlat is not None:
+                self._network_latencies.append(nlat)
+            self._hops.append(msg.hops)
+            if msg.header.misrouted:
+                self._misrouted += 1
+
+    def count_dropped(self) -> None:
+        self.messages_dropped += 1
+
+    def count_unroutable(self) -> None:
+        self.messages_unroutable += 1
+
+    # -- summaries -----------------------------------------------------------
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self._latencies)) if self._latencies else float("nan")
+
+    @property
+    def mean_network_latency(self) -> float:
+        return (float(np.mean(self._network_latencies))
+                if self._network_latencies else float("nan"))
+
+    @property
+    def p99_latency(self) -> float:
+        return (float(np.percentile(self._latencies, 99))
+                if self._latencies else float("nan"))
+
+    @property
+    def mean_hops(self) -> float:
+        return float(np.mean(self._hops)) if self._hops else float("nan")
+
+    @property
+    def misrouted_fraction(self) -> float:
+        n = len(self._hops)
+        return self._misrouted / n if n else 0.0
+
+    @property
+    def mean_decision_steps(self) -> float:
+        return self.decision_steps / self.decisions if self.decisions else 0.0
+
+    def throughput(self, n_nodes: int) -> float:
+        """Delivered flits per node per cycle over the measured window."""
+        cycles = max(1, self.now - self.warmup)
+        return self.flits_delivered_measured / (cycles * n_nodes)
+
+    def measured_messages(self) -> int:
+        return len(self._latencies)
+
+    def summary(self, n_nodes: int) -> dict:
+        return {
+            "cycles": self.now,
+            "messages_delivered": self.messages_delivered,
+            "messages_measured": self.measured_messages(),
+            "messages_dropped": self.messages_dropped,
+            "messages_unroutable": self.messages_unroutable,
+            "messages_stuck": self.messages_stuck,
+            "mean_latency": self.mean_latency,
+            "mean_network_latency": self.mean_network_latency,
+            "p99_latency": self.p99_latency,
+            "mean_hops": self.mean_hops,
+            "misrouted_fraction": self.misrouted_fraction,
+            "throughput_flits_node_cycle": self.throughput(n_nodes),
+            "decisions": self.decisions,
+            "mean_decision_steps": self.mean_decision_steps,
+            "max_decision_steps": self.max_decision_steps,
+        }

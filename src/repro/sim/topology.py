@@ -1,0 +1,374 @@
+"""Network topologies: 2-D mesh/torus, hypercube, k-ary n-cube.
+
+A topology enumerates nodes (dense integer ids), per-node ports (dense
+integer ids, one per neighbour link; the router adds a separate local
+injection/ejection port on top), and coordinate helpers the routing
+algorithms use.  Links are bidirectional; "a link is either faulty and
+known as such or it transmits messages without destruction.  Links are
+bi-directional and both directions fail together" (paper assumption i)
+— hence links are identified by unordered node pairs.
+
+Port numbering conventions match the routing literature:
+
+* 2-D mesh/torus: EAST=0, WEST=1, NORTH=2, SOUTH=3 (missing mesh-edge
+  ports simply do not exist on border nodes);
+* hypercube / k-ary n-cube: dimension-major (for the hypercube, port i
+  crosses dimension i; for k-ary n-cubes, ports 2i / 2i+1 are the
+  +/- directions of dimension i).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+EAST, WEST, NORTH, SOUTH = 0, 1, 2, 3
+MESH_DIR_NAMES = {EAST: "east", WEST: "west", NORTH: "north", SOUTH: "south"}
+MESH_OPPOSITE = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+
+
+def link_key(a: int, b: int) -> tuple[int, int]:
+    """Canonical id of the bidirectional link between two nodes."""
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class Port:
+    """One router port: connects ``node`` to ``neighbor`` over ``link``."""
+
+    node: int
+    port_id: int
+    neighbor: int
+    neighbor_port: int
+    link: tuple[int, int]
+
+
+class Topology:
+    """Abstract base: a named graph with dense ports."""
+
+    name: str = "topology"
+
+    def __init__(self):
+        self._ports: dict[int, dict[int, Port]] = {}
+        self._built = False
+
+    # -- subclass interface ---------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        raise NotImplementedError
+
+    def _neighbor(self, node: int, port_id: int) -> tuple[int, int] | None:
+        """(neighbor node, neighbor's port id) or None if the port does
+        not exist (mesh borders)."""
+        raise NotImplementedError
+
+    @property
+    def max_ports(self) -> int:
+        """Upper bound on port ids (node degree of the regular graph)."""
+        raise NotImplementedError
+
+    def distance(self, a: int, b: int) -> int:
+        """Minimal hop distance in the fault-free topology."""
+        raise NotImplementedError
+
+    # -- built structure ----------------------------------------------------
+
+    def _build(self) -> None:
+        if self._built:
+            return
+        for node in range(self.n_nodes):
+            ports: dict[int, Port] = {}
+            for pid in range(self.max_ports):
+                nb = self._neighbor(node, pid)
+                if nb is None:
+                    continue
+                nb_node, nb_port = nb
+                ports[pid] = Port(node, pid, nb_node, nb_port,
+                                  link_key(node, nb_node))
+            self._ports[node] = ports
+        self._built = True
+
+    def ports(self, node: int) -> dict[int, Port]:
+        self._build()
+        return self._ports[node]
+
+    def port(self, node: int, port_id: int) -> Port | None:
+        self._build()
+        return self._ports[node].get(port_id)
+
+    def neighbors(self, node: int) -> list[int]:
+        return [p.neighbor for p in self.ports(node).values()]
+
+    def links(self) -> set[tuple[int, int]]:
+        self._build()
+        out: set[tuple[int, int]] = set()
+        for ports in self._ports.values():
+            for p in ports.values():
+                out.add(p.link)
+        return out
+
+    def nodes(self) -> range:
+        return range(self.n_nodes)
+
+
+class Mesh2D(Topology):
+    """width x height 2-D mesh; node id = x + y * width."""
+
+    name = "mesh2d"
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        super().__init__()
+        self.width = width
+        self.height = height
+
+    @property
+    def n_nodes(self) -> int:
+        return self.width * self.height
+
+    @property
+    def max_ports(self) -> int:
+        return 4
+
+    def coords(self, node: int) -> tuple[int, int]:
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x},{y}) outside {self.width}x{self.height}")
+        return x + y * self.width
+
+    def _neighbor(self, node: int, port_id: int) -> tuple[int, int] | None:
+        x, y = self.coords(node)
+        if port_id == EAST and x + 1 < self.width:
+            return self.node_at(x + 1, y), WEST
+        if port_id == WEST and x - 1 >= 0:
+            return self.node_at(x - 1, y), EAST
+        if port_id == NORTH and y + 1 < self.height:
+            return self.node_at(x, y + 1), SOUTH
+        if port_id == SOUTH and y - 1 >= 0:
+            return self.node_at(x, y - 1), NORTH
+        return None
+
+    def distance(self, a: int, b: int) -> int:
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def minimal_ports(self, node: int, dest: int) -> list[int]:
+        """Ports on minimal paths from node to dest (paper's set 2
+        ingredient before deadlock restrictions)."""
+        x, y = self.coords(node)
+        dx, dy = self.coords(dest)
+        out = []
+        if dx > x:
+            out.append(EAST)
+        if dx < x:
+            out.append(WEST)
+        if dy > y:
+            out.append(NORTH)
+        if dy < y:
+            out.append(SOUTH)
+        return out
+
+
+class Torus2D(Mesh2D):
+    """width x height 2-D torus (wrap-around mesh)."""
+
+    name = "torus2d"
+
+    def _neighbor(self, node: int, port_id: int) -> tuple[int, int] | None:
+        x, y = self.coords(node)
+        if port_id == EAST:
+            return self.node_at((x + 1) % self.width, y), WEST
+        if port_id == WEST:
+            return self.node_at((x - 1) % self.width, y), EAST
+        if port_id == NORTH:
+            return self.node_at(x, (y + 1) % self.height), SOUTH
+        if port_id == SOUTH:
+            return self.node_at(x, (y - 1) % self.height), NORTH
+        return None
+
+    def distance(self, a: int, b: int) -> int:
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.width - dx) + min(dy, self.height - dy)
+
+    def minimal_ports(self, node: int, dest: int) -> list[int]:
+        x, y = self.coords(node)
+        dx, dy = self.coords(dest)
+        out = []
+        if dx != x:
+            right = (dx - x) % self.width
+            left = (x - dx) % self.width
+            if right <= left:
+                out.append(EAST)
+            if left <= right:
+                out.append(WEST)
+        if dy != y:
+            up = (dy - y) % self.height
+            down = (y - dy) % self.height
+            if up <= down:
+                out.append(NORTH)
+            if down <= up:
+                out.append(SOUTH)
+        return out
+
+
+class Hypercube(Topology):
+    """d-dimensional binary hypercube; port i flips address bit i."""
+
+    name = "hypercube"
+
+    def __init__(self, dimension: int):
+        if dimension < 1:
+            raise ValueError("hypercube dimension must be >= 1")
+        super().__init__()
+        self.dimension = dimension
+
+    @property
+    def n_nodes(self) -> int:
+        return 1 << self.dimension
+
+    @property
+    def max_ports(self) -> int:
+        return self.dimension
+
+    def _neighbor(self, node: int, port_id: int) -> tuple[int, int] | None:
+        if 0 <= port_id < self.dimension:
+            return node ^ (1 << port_id), port_id
+        return None
+
+    def distance(self, a: int, b: int) -> int:
+        return (a ^ b).bit_count()
+
+    def differing_dimensions(self, a: int, b: int) -> list[int]:
+        """Dimensions still to correct — the minimal-port set."""
+        x = a ^ b
+        return [i for i in range(self.dimension) if x >> i & 1]
+
+
+class MeshND(Topology):
+    """n-dimensional mesh (no wrap-around): ports 2i / 2i+1 are the
+    + / - directions of dimension i; border ports do not exist."""
+
+    name = "meshnd"
+
+    def __init__(self, dims: tuple[int, ...]):
+        if not dims or any(d < 1 for d in dims):
+            raise ValueError("mesh dimensions must be positive")
+        super().__init__()
+        self.dims = tuple(int(d) for d in dims)
+
+    @property
+    def n_nodes(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def max_ports(self) -> int:
+        return 2 * len(self.dims)
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        out = []
+        for d in self.dims:
+            out.append(node % d)
+            node //= d
+        return tuple(out)
+
+    def node_at(self, coords) -> int:
+        node = 0
+        for c, d in zip(reversed(tuple(coords)), reversed(self.dims)):
+            if not 0 <= c < d:
+                raise ValueError(f"{coords} outside mesh {self.dims}")
+            node = node * d + c
+        return node
+
+    def _neighbor(self, node: int, port_id: int) -> tuple[int, int] | None:
+        if not 0 <= port_id < 2 * len(self.dims):
+            return None
+        dim, sign = divmod(port_id, 2)
+        coords = list(self.coords(node))
+        if sign == 0:
+            if coords[dim] + 1 >= self.dims[dim]:
+                return None
+            coords[dim] += 1
+            return self.node_at(coords), port_id + 1
+        if coords[dim] - 1 < 0:
+            return None
+        coords[dim] -= 1
+        return self.node_at(coords), port_id - 1
+
+    def distance(self, a: int, b: int) -> int:
+        return sum(abs(x - y) for x, y in zip(self.coords(a),
+                                              self.coords(b)))
+
+
+class KAryNCube(Topology):
+    """k-ary n-cube: n dimensions of k nodes with wrap-around.
+
+    Ports 2i and 2i+1 are the + and - directions of dimension i.
+    ``k == 2`` degenerates to a hypercube-like graph but keeps two
+    (parallel) ports per dimension; use :class:`Hypercube` for binary
+    cubes.
+    """
+
+    name = "karyncube"
+
+    def __init__(self, k: int, n: int):
+        if k < 2 or n < 1:
+            raise ValueError("need k >= 2 and n >= 1")
+        super().__init__()
+        self.k = k
+        self.n = n
+
+    @property
+    def n_nodes(self) -> int:
+        return self.k ** self.n
+
+    @property
+    def max_ports(self) -> int:
+        return 2 * self.n
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        out = []
+        for _ in range(self.n):
+            out.append(node % self.k)
+            node //= self.k
+        return tuple(out)
+
+    def node_at(self, coords) -> int:
+        node = 0
+        for c in reversed(coords):
+            node = node * self.k + c
+        return node
+
+    def _neighbor(self, node: int, port_id: int) -> tuple[int, int] | None:
+        if not 0 <= port_id < 2 * self.n:
+            return None
+        dim, sign = divmod(port_id, 2)
+        coords = list(self.coords(node))
+        if sign == 0:
+            coords[dim] = (coords[dim] + 1) % self.k
+            return self.node_at(coords), port_id + 1
+        coords[dim] = (coords[dim] - 1) % self.k
+        return self.node_at(coords), port_id - 1
+
+    def distance(self, a: int, b: int) -> int:
+        ca = self.coords(a)
+        cb = self.coords(b)
+        total = 0
+        for x, y in zip(ca, cb):
+            d = abs(x - y)
+            total += min(d, self.k - d)
+        return total

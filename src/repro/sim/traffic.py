@@ -1,0 +1,190 @@
+"""Synthetic traffic generation.
+
+Standard interconnection-network workloads: uniform random, transpose,
+bit-complement, bit-reverse, hotspot, nearest-neighbour and fixed
+random permutations.  Injection is a Bernoulli process per node with a
+given offered load in flits/node/cycle; message lengths are fixed or
+drawn from a small range (wormhole-switched worms).
+
+All randomness flows through one :class:`numpy.random.Generator` so
+every experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .topology import Hypercube, Mesh2D, Topology
+
+PatternFn = Callable[[int], int]
+
+
+def uniform_pattern(topology: Topology, rng: np.random.Generator) -> PatternFn:
+    n = topology.n_nodes
+
+    def dest(src: int) -> int:
+        d = int(rng.integers(0, n - 1))
+        return d if d < src else d + 1  # uniform over others
+
+    return dest
+
+
+def transpose_pattern(topology: Topology) -> PatternFn:
+    if not isinstance(topology, Mesh2D):
+        raise ValueError("transpose needs a 2-D mesh/torus")
+    if topology.width != topology.height:
+        raise ValueError("transpose needs a square mesh")
+
+    def dest(src: int) -> int:
+        x, y = topology.coords(src)
+        return topology.node_at(y, x)
+
+    return dest
+
+
+def bit_complement_pattern(topology: Topology) -> PatternFn:
+    n = topology.n_nodes
+    if n & (n - 1):
+        raise ValueError("bit-complement needs a power-of-two node count")
+    mask = n - 1
+
+    def dest(src: int) -> int:
+        return src ^ mask
+
+    return dest
+
+
+def bit_reverse_pattern(topology: Topology) -> PatternFn:
+    n = topology.n_nodes
+    if n & (n - 1):
+        raise ValueError("bit-reverse needs a power-of-two node count")
+    bits = (n - 1).bit_length()
+
+    def dest(src: int) -> int:
+        out = 0
+        for i in range(bits):
+            if src >> i & 1:
+                out |= 1 << (bits - 1 - i)
+        return out
+
+    return dest
+
+
+def hotspot_pattern(topology: Topology, rng: np.random.Generator,
+                    hotspot: int | None = None,
+                    fraction: float = 0.2) -> PatternFn:
+    """Uniform traffic with an extra ``fraction`` directed at one node."""
+    n = topology.n_nodes
+    if hotspot is None:
+        hotspot = n // 2
+    uni = uniform_pattern(topology, rng)
+    spot = int(hotspot)
+
+    def dest(src: int) -> int:
+        if src != spot and rng.random() < fraction:
+            return spot
+        d = uni(src)
+        return d
+
+    return dest
+
+
+def neighbor_pattern(topology: Topology, rng: np.random.Generator) -> PatternFn:
+    def dest(src: int) -> int:
+        nbrs = topology.neighbors(src)
+        return nbrs[int(rng.integers(0, len(nbrs)))]
+
+    return dest
+
+
+def permutation_pattern(topology: Topology,
+                        rng: np.random.Generator) -> PatternFn:
+    """A fixed random permutation without fixed points (derangement by
+    rejection; retries are cheap at these sizes)."""
+    n = topology.n_nodes
+    while True:
+        perm = rng.permutation(n)
+        if not np.any(perm == np.arange(n)):
+            break
+    table = [int(x) for x in perm]
+
+    def dest(src: int) -> int:
+        return table[src]
+
+    return dest
+
+
+def dimension_reverse_pattern(topology: Topology) -> PatternFn:
+    """Hypercube 'dimension reversal': destination = src with the low
+    and high halves of the address swapped."""
+    if not isinstance(topology, Hypercube):
+        raise ValueError("dimension-reverse needs a hypercube")
+    d = topology.dimension
+    half = d // 2
+    low = (1 << half) - 1
+
+    def dest(src: int) -> int:
+        lo = src & low
+        hi = src >> half
+        return (lo << (d - half)) | hi
+
+    return dest
+
+
+PATTERNS = {
+    "uniform": lambda topo, rng, **kw: uniform_pattern(topo, rng),
+    "transpose": lambda topo, rng, **kw: transpose_pattern(topo),
+    "bit_complement": lambda topo, rng, **kw: bit_complement_pattern(topo),
+    "bit_reverse": lambda topo, rng, **kw: bit_reverse_pattern(topo),
+    "hotspot": lambda topo, rng, **kw: hotspot_pattern(topo, rng, **kw),
+    "neighbor": lambda topo, rng, **kw: neighbor_pattern(topo, rng),
+    "permutation": lambda topo, rng, **kw: permutation_pattern(topo, rng),
+    "dimension_reverse":
+        lambda topo, rng, **kw: dimension_reverse_pattern(topo),
+}
+
+
+@dataclass
+class TrafficGenerator:
+    """Bernoulli message injection against a destination pattern.
+
+    ``load`` is offered load in flits/node/cycle; with fixed message
+    length L the per-cycle message probability per node is load / L.
+    """
+
+    topology: Topology
+    pattern: str = "uniform"
+    load: float = 0.1
+    message_length: int = 8
+    seed: int = 1
+    pattern_kwargs: dict | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.load <= 1.0:
+            raise ValueError("load must be in [0, 1] flits/node/cycle")
+        if self.message_length < 1:
+            raise ValueError("message_length must be >= 1")
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown pattern {self.pattern!r}; choose "
+                             f"from {sorted(PATTERNS)}")
+        self.rng = np.random.default_rng(self.seed)
+        self._dest = PATTERNS[self.pattern](
+            self.topology, self.rng, **(self.pattern_kwargs or {}))
+        self._p = self.load / self.message_length
+
+    def destinations(self) -> PatternFn:
+        return self._dest
+
+    def tick(self, cycle: int) -> list[tuple[int, int, int]]:
+        """(src, dst, length) triples to inject this cycle."""
+        out = []
+        draws = self.rng.random(self.topology.n_nodes)
+        for src in range(self.topology.n_nodes):
+            if draws[src] < self._p:
+                dst = self._dest(src)
+                if dst != src:
+                    out.append((src, dst, self.message_length))
+        return out

@@ -1,0 +1,2 @@
+"""Command-line tools: the rule compiler (`python -m repro.tools.rulec`)
+and the simulation runner (`python -m repro.tools.simulate`)."""

@@ -1,0 +1,146 @@
+"""rulec — the off-line Rule Compiler as a command-line tool.
+
+The paper (Section 4.2): "An appropriate tool ('Rule Compiler')
+generates the configuration data by translation."
+
+Usage::
+
+    python -m repro.tools.rulec path/to/algorithm.rules [-p name=value ...]
+    python -m repro.tools.rulec --ruleset nafta
+    python -m repro.tools.rulec --ruleset route_c -p d=8 -p a=3 --registers
+
+Prints, per rule base: the compiled table dimensions (entries x width),
+the index features (direct signals vs FCFB bits), the FCFB inventory,
+table coverage statistics, and optionally the register file report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.compiler import BitFeature, DirectFeature, compile_program
+from ..core.dsl.errors import DslError
+from ..routing.rulesets.loader import RULESETS, ruleset_source
+
+
+def parse_params(pairs: list[str]) -> dict:
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad parameter {pair!r}; expected name=value")
+        name, value = pair.split("=", 1)
+        try:
+            out[name] = int(value)
+        except ValueError:
+            out[name] = value
+    return out
+
+
+def describe_base(rb, show_table_stats: bool) -> str:
+    lines = [f"rule base {rb.name}"
+             + (f" (subbase)" if rb.is_subbase else "")]
+    if rb.params:
+        params = ", ".join(f"{n} IN {d}" for n, d in rb.params)
+        lines.append(f"  parameters : {params}")
+    if rb.returns is not None:
+        lines.append(f"  returns    : {rb.returns}")
+    lines.append(f"  rules      : {len(rb.ground_rules)} ground "
+                 f"(after expansion)")
+    feats = []
+    for f in rb.analysis.features:
+        if isinstance(f, DirectFeature):
+            feats.append(f"direct[{f.domain.bit_width}b]")
+        else:
+            assert isinstance(f, BitFeature)
+            feats.append(f"bit({f.fcfb})")
+    lines.append(f"  index      : {' + '.join(feats) or 'none'}")
+    lines.append(f"  table      : {rb.n_entries} entries x {rb.width} bit "
+                 f"= {rb.size_bits} bits")
+    fcfbs = ", ".join(f"{n} x {k}" if n > 1 else k
+                      for k, n in sorted(rb.fcfb_kinds.items()))
+    lines.append(f"  FCFBs      : {fcfbs or 'none'}")
+    if rb.reads or rb.writes:
+        lines.append(f"  registers  : reads {sorted(rb.reads) or '-'}, "
+                     f"writes {sorted(rb.writes) or '-'}")
+    if rb.emits:
+        lines.append(f"  emits      : {sorted(rb.emits)}")
+    if show_table_stats and rb.table is not None:
+        s = rb.stats()
+        lines.append(f"  coverage   : {s['covered']}/{s['entries']} entries "
+                     f"fire a rule; dead rules: {s['dead_rules'] or 'none'}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="rulec", description="compile a rule-based routing program")
+    src_group = ap.add_mutually_exclusive_group(required=True)
+    src_group.add_argument("file", nargs="?", help="a .rules source file")
+    src_group.add_argument("--ruleset", choices=sorted(RULESETS),
+                           help="compile a shipped ruleset")
+    ap.add_argument("-p", "--param", action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="compile-time parameter (repeatable)")
+    ap.add_argument("--no-table", action="store_true",
+                    help="cost figures only, skip table materialization")
+    ap.add_argument("--registers", action="store_true",
+                    help="print the register-file report")
+    ap.add_argument("--verify", action="store_true",
+                    help="check table execution against the reference "
+                         "semantics over each rule base's input space "
+                         "(exhaustive when small, sampled otherwise)")
+    args = ap.parse_args(argv)
+
+    if args.ruleset:
+        source = ruleset_source(args.ruleset)
+        params = dict(RULESETS[args.ruleset].default_params)
+    else:
+        try:
+            source = open(args.file).read()
+        except OSError as exc:
+            print(f"rulec: {exc}", file=sys.stderr)
+            return 2
+        params = {}
+    params.update(parse_params(args.param))
+
+    try:
+        compiled = compile_program(source, params=params,
+                                   materialize=not args.no_table)
+    except DslError as exc:
+        print(f"rulec: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"compiled {len(compiled.rulebases)} rule base(s), "
+          f"{len(compiled.subbases)} subbase(s)"
+          + (f" with parameters {params}" if params else ""))
+    print()
+    for rb in list(compiled.subbases.values()) \
+            + list(compiled.rulebases.values()):
+        print(describe_base(rb, not args.no_table))
+        print()
+    print(f"total rule-table memory : {compiled.total_table_bits} bits")
+    print(f"total register bits     : {compiled.register_bits()}")
+    if args.verify:
+        from ..core.compiler.verify import verify_equivalence
+        functions = (RULESETS[args.ruleset].functions
+                     if args.ruleset else None)
+        print()
+        failed = False
+        for name in compiled.rulebases:
+            rep = verify_equivalence(compiled, name, functions=functions)
+            print(f"  verify {rep.summary()}")
+            failed = failed or not rep.ok
+        if failed:
+            return 3
+    if args.registers:
+        print()
+        for rep in compiled.register_report():
+            print(f"  {rep['name']:<18} {rep['bits']:>4} bits "
+                  f"({rep['cells']} cells)  writers: "
+                  f"{', '.join(rep['writers']) or '-'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""simulate — run a network workload from the command line.
+
+Usage::
+
+    python -m repro.tools.simulate --topology mesh8x8 --algorithm nafta \
+        --load 0.15 --cycles 3000 --link-faults 4 --seed 7
+    python -m repro.tools.simulate --topology cube4 --algorithm route_c \
+        --node-faults 2 --pattern uniform
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+import numpy as np
+
+from ..experiments import WorkloadSpec, fmt, run_workload
+from ..routing.registry import ALGORITHMS
+from ..sim import Hypercube, Mesh2D, Torus2D, random_link_faults
+from ..sim.traffic import PATTERNS
+
+
+def parse_topology(spec: str):
+    m = re.fullmatch(r"mesh(\d+)x(\d+)", spec)
+    if m:
+        return Mesh2D(int(m.group(1)), int(m.group(2)))
+    m = re.fullmatch(r"torus(\d+)x(\d+)", spec)
+    if m:
+        return Torus2D(int(m.group(1)), int(m.group(2)))
+    m = re.fullmatch(r"cube(\d+)", spec)
+    if m:
+        return Hypercube(int(m.group(1)))
+    raise SystemExit(f"unknown topology {spec!r}; use meshWxH, torusWxH "
+                     f"or cubeD")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="simulate",
+                                 description="run a wormhole-network "
+                                             "workload")
+    ap.add_argument("--topology", default="mesh8x8",
+                    help="meshWxH | torusWxH | cubeD (default mesh8x8)")
+    ap.add_argument("--algorithm", default="nafta",
+                    choices=sorted(ALGORITHMS))
+    ap.add_argument("--pattern", default="uniform", choices=sorted(PATTERNS))
+    ap.add_argument("--load", type=float, default=0.1,
+                    help="offered load in flits/node/cycle")
+    ap.add_argument("--message-length", type=int, default=4)
+    ap.add_argument("--cycles", type=int, default=3000)
+    ap.add_argument("--warmup", type=int, default=500)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--link-faults", type=int, default=0,
+                    help="random connectivity-preserving link faults")
+    ap.add_argument("--node-faults", type=int, default=0,
+                    help="random node faults")
+    ap.add_argument("--cycles-per-step", type=int, default=1,
+                    help="router cycles per rule-interpretation step")
+    ap.add_argument("--arbiter", default="round_robin",
+                    choices=["round_robin", "misrouted_first",
+                             "oldest_first"])
+    args = ap.parse_args(argv)
+
+    topo = parse_topology(args.topology)
+    rng = np.random.default_rng(args.seed + 1000)
+    fault_links = (random_link_faults(topo, args.link_faults, rng)
+                   if args.link_faults else [])
+    fault_nodes = []
+    while len(fault_nodes) < args.node_faults:
+        cand = int(rng.integers(0, topo.n_nodes))
+        if cand not in fault_nodes:
+            fault_nodes.append(cand)
+
+    spec = WorkloadSpec(
+        topology=topo, algorithm=args.algorithm, pattern=args.pattern,
+        load=args.load, message_length=args.message_length,
+        cycles=args.cycles, warmup=args.warmup, seed=args.seed,
+        cycles_per_step=args.cycles_per_step, fault_links=fault_links,
+        fault_nodes=fault_nodes, arbiter=args.arbiter)
+    try:
+        res = run_workload(spec)
+    except Exception as exc:  # pragma: no cover - CLI surface
+        print(f"simulate: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"{args.topology} / {args.algorithm} / {args.pattern} "
+          f"@ {args.load} flits/node/cycle, {spec.cycles} cycles"
+          + (f", {len(fault_links)} link faults" if fault_links else "")
+          + (f", {len(fault_nodes)} node faults" if fault_nodes else ""))
+    for key in ("messages_delivered", "messages_measured", "mean_latency",
+                "p99_latency", "mean_hops", "throughput_flits_node_cycle",
+                "misrouted_fraction", "mean_decision_steps",
+                "max_decision_steps", "messages_stuck",
+                "messages_unroutable", "deadlocked"):
+        print(f"  {key:<30} {fmt(res[key])}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""Tests of the Condition 1-3 checkers (paper Section 2.1)."""
+
+import pytest
+
+from repro.analysis import (check_condition1, check_conditions_2_3,
+                            connected_pairs, fraction_links_usable_by_tree,
+                            healthy_graph, partition_summary)
+from repro.routing import (NaftaRouting, NaraRouting, RouteCRouting,
+                           SpanningTreeRouting, XYRouting)
+from repro.sim import FaultSchedule, FaultState, Hypercube, Mesh2D, Network
+
+
+def all_pairs(topo, stride=1):
+    return [(s, d) for s in range(0, topo.n_nodes, stride)
+            for d in range(0, topo.n_nodes, stride) if s != d]
+
+
+class TestCondition1:
+    def test_nara_fully_adaptive(self):
+        net = Network(Mesh2D(5, 5), NaraRouting())
+        res = check_condition1(net, all_pairs(net.topology, 3))
+        assert res.satisfied
+
+    def test_nafta_fully_adaptive_fault_free(self):
+        net = Network(Mesh2D(5, 5), NaftaRouting())
+        res = check_condition1(net, all_pairs(net.topology, 3))
+        assert res.satisfied
+
+    def test_route_c_adaptive_within_phases(self):
+        """ROUTE_C's two-phase scheme ([Kon90]) is fully adaptive only
+        within each phase; the paper claims Condition 1 for NAFTA, not
+        for ROUTE_C.  Pairs needing only up-flips (src subset of dst)
+        are one-phase and fully adaptive; mixed pairs are not."""
+        net = Network(Hypercube(4), RouteCRouting())
+        up_only = [(s, d) for s in range(16) for d in range(16)
+                   if s != d and s & ~d == 0]
+        res = check_condition1(net, up_only)
+        assert res.satisfied
+        mixed = [(1, 2), (5, 10)]
+        res = check_condition1(net, mixed)
+        assert not res.satisfied
+
+    def test_xy_not_fully_adaptive(self):
+        """Oblivious XY offers a single path: Condition 1 must fail for
+        pairs with more than one minimal path."""
+        net = Network(Mesh2D(4, 4), XYRouting())
+        res = check_condition1(net, [(0, 15)])
+        assert not res.satisfied
+
+    def test_spanning_tree_not_fully_adaptive(self):
+        net = Network(Mesh2D(4, 4), SpanningTreeRouting())
+        res = check_condition1(net, [(0, 15), (3, 12)])
+        assert not res.satisfied
+
+
+class TestConditions23:
+    def test_nafta_condition2_with_off_path_fault(self):
+        topo = Mesh2D(5, 5)
+        sched = FaultSchedule.static(nodes=[topo.node_at(4, 4)])
+        pairs = [(topo.node_at(0, 0), topo.node_at(3, 1)),
+                 (topo.node_at(0, 2), topo.node_at(2, 0)),
+                 (topo.node_at(1, 1), topo.node_at(3, 3))]
+        res = check_conditions_2_3(topo, NaftaRouting, sched, pairs)
+        c2 = res["condition2"]
+        assert c2.pairs == 3
+        assert c2.minimal == 3  # all delivered minimally
+
+    def test_nafta_condition3_mostly_holds_small_faults(self):
+        topo = Mesh2D(5, 5)
+        sched = FaultSchedule.static(nodes=[topo.node_at(2, 2)])
+        pairs = all_pairs(topo, 4)
+        res = check_conditions_2_3(topo, NaftaRouting, sched, pairs)
+        c3 = res["condition3"]
+        assert c3.delivery_rate >= 0.9
+
+    def test_nafta_condition3_violated_by_deactivation(self):
+        """A diagonal fault pair deactivates healthy nodes — messages to
+        them are refused although physically connected (the paper's
+        concession)."""
+        topo = Mesh2D(5, 5)
+        sched = FaultSchedule.static(nodes=[topo.node_at(2, 2),
+                                            topo.node_at(3, 3)])
+        dead_healthy = topo.node_at(2, 3)
+        pairs = [(0, dead_healthy)]
+        res = check_conditions_2_3(topo, NaftaRouting, sched, pairs)
+        c3 = res["condition3"]
+        assert c3.pairs == 1
+        assert c3.refused == 1
+
+    def test_route_c_condition3_with_two_faults(self):
+        topo = Hypercube(4)
+        sched = FaultSchedule.static(nodes=[5, 10])
+        pairs = [(s, d) for s in range(16) for d in range(16)
+                 if s != d and s not in (5, 10) and d not in (5, 10)]
+        res = check_conditions_2_3(topo, RouteCRouting, sched, pairs)
+        c3 = res["condition3"]
+        assert c3.delivery_rate == 1.0
+
+    def test_spanning_tree_condition3_perfect_condition2_poor(self):
+        topo = Mesh2D(4, 4)
+        sched = FaultSchedule.static(nodes=[topo.node_at(1, 1)])
+        pairs = all_pairs(topo, 2)
+        pairs = [(s, d) for s, d in pairs
+                 if s != topo.node_at(1, 1) and d != topo.node_at(1, 1)]
+        res = check_conditions_2_3(topo, SpanningTreeRouting, sched, pairs)
+        assert res["condition3"].delivery_rate == 1.0
+        # tree routing rarely takes minimal paths (the paper's point)
+        assert res["condition2"].minimal_rate < 0.9
+
+
+class TestReachability:
+    def test_healthy_graph_drops_faulty(self):
+        topo = Mesh2D(4, 4)
+        faults = FaultState(topo)
+        faults.fail_node(5)
+        g = healthy_graph(topo, faults)
+        assert 5 not in g
+        assert g.number_of_nodes() == 15
+
+    def test_connected_pairs_excludes_cross_partition(self):
+        topo = Mesh2D(3, 1)  # a path: 0 - 1 - 2
+        faults = FaultState(topo)
+        faults.fail_node(1)
+        pairs = connected_pairs(topo, faults)
+        assert (0, 2) not in pairs
+        assert pairs == []
+
+    def test_partition_summary(self):
+        topo = Mesh2D(3, 1)
+        faults = FaultState(topo)
+        faults.fail_node(1)
+        s = partition_summary(topo, faults)
+        assert s["components"] == 2
+        assert s["largest_component"] == 1
+
+    def test_tree_uses_fraction_of_links(self):
+        topo = Mesh2D(6, 6)
+        faults = FaultState(topo)
+        frac = fraction_links_usable_by_tree(topo, faults)
+        assert frac == pytest.approx(35 / 60)

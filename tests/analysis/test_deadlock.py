@@ -1,0 +1,145 @@
+"""CDG deadlock-freedom checks — the machine-checked counterpart of
+the deadlock arguments in the routing module docstrings."""
+
+import pytest
+
+from repro.analysis import build_cdg, check_deadlock_free
+from repro.routing import (ECubeRouting, NaftaRouting, NaraRouting,
+                           RouteCRouting, SpanningTreeRouting,
+                           StrippedRouteC, XYRouting)
+from repro.routing.base import RouteDecision, RoutingAlgorithm
+from repro.sim import FaultSchedule, Hypercube, Mesh2D, Network
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("algo_cls", [XYRouting, NaraRouting,
+                                          NaftaRouting])
+    def test_mesh_algorithms_acyclic(self, algo_cls):
+        r = check_deadlock_free(Mesh2D(5, 5), algo_cls())
+        assert r.acyclic, r.cycle
+
+    @pytest.mark.parametrize("algo_cls", [ECubeRouting, StrippedRouteC,
+                                          RouteCRouting])
+    def test_cube_algorithms_acyclic(self, algo_cls):
+        r = check_deadlock_free(Hypercube(3), algo_cls())
+        assert r.acyclic, r.cycle
+
+    def test_spanning_tree_acyclic(self):
+        r = check_deadlock_free(Mesh2D(5, 5), SpanningTreeRouting())
+        assert r.acyclic, r.cycle
+
+
+class TestWithFaults:
+    @pytest.mark.parametrize("fault_coords", [
+        [(2, 2)],
+        [(2, 2), (3, 3)],
+        [(1, 2), (2, 2), (3, 2)],        # a wall
+        [(0, 2), (1, 2)],                # wall at the west border
+    ])
+    def test_nafta_acyclic_under_node_faults(self, fault_coords):
+        topo = Mesh2D(6, 6)
+        sched = FaultSchedule.static(
+            nodes=[topo.node_at(*c) for c in fault_coords])
+        r = check_deadlock_free(topo, NaftaRouting(), sched)
+        assert r.acyclic, r.cycle
+
+    @pytest.mark.parametrize("links", [
+        [((2, 2), (3, 2))],
+        [((0, 4), (1, 4)), ((2, 3), (2, 4))],
+        [((4, 5), (5, 5)), ((4, 4), (5, 4)), ((4, 3), (5, 3))],
+    ])
+    def test_nafta_acyclic_under_link_faults(self, links):
+        topo = Mesh2D(6, 6)
+        sched = FaultSchedule.static(
+            links=[(topo.node_at(*a), topo.node_at(*b)) for a, b in links])
+        r = check_deadlock_free(topo, NaftaRouting(), sched)
+        assert r.acyclic, r.cycle
+
+    @pytest.mark.parametrize("dead", [[3], [3, 9], [1, 2, 4]])
+    def test_route_c_acyclic_under_faults(self, dead):
+        r = check_deadlock_free(Hypercube(4), RouteCRouting(),
+                                FaultSchedule.static(nodes=dead))
+        assert r.acyclic, r.cycle
+
+    def test_route_c_acyclic_under_link_faults(self):
+        r = check_deadlock_free(Hypercube(3), RouteCRouting(),
+                                FaultSchedule.static(links=[(0, 1), (2, 6)]))
+        assert r.acyclic, r.cycle
+
+
+class BadUTurnRouting(RoutingAlgorithm):
+    """Deliberately broken: minimal XY that also offers the reverse
+    port, creating two-channel cycles — the checker must catch it."""
+
+    name = "bad_uturn"
+    n_vcs = 1
+
+    def check_topology(self, topology):
+        pass
+
+    def route(self, router, header, in_port, in_vc):
+        topo = router.topology
+        if router.node == header.dst:
+            return RouteDecision.delivery()
+        ports = list(topo.minimal_ports(router.node, header.dst))
+        if in_port >= 0:
+            ports.append(in_port)  # the poison: u-turn dependency
+        return RouteDecision(candidates=[(p, 0) for p in ports])
+
+
+class BadRingRouting(RoutingAlgorithm):
+    """Deliberately broken: unrestricted clockwise routing on a mesh
+    ring — the classic cyclic-dependency example."""
+
+    name = "bad_ring"
+    n_vcs = 1
+
+    def check_topology(self, topology):
+        pass
+
+    def route(self, router, header, in_port, in_vc):
+        from repro.sim import EAST, NORTH, SOUTH, WEST
+        topo = router.topology
+        if router.node == header.dst:
+            return RouteDecision.delivery()
+        x, y = topo.coords(router.node)
+        w, h = topo.width - 1, topo.height - 1
+        # walk the outer ring clockwise: E along the bottom, N up the
+        # east side, W along the top, S down the west side
+        if y == 0 and x < w:
+            port = EAST
+        elif x == w and y < h:
+            port = NORTH
+        elif y == h and x > 0:
+            port = WEST
+        else:
+            port = SOUTH
+        return RouteDecision(candidates=[(port, 0)])
+
+
+class TestNegativeControls:
+    def test_uturn_cycle_detected(self):
+        r = check_deadlock_free(Mesh2D(4, 4), BadUTurnRouting())
+        assert not r.acyclic
+        assert len(r.cycle) >= 2
+
+    def test_ring_cycle_detected(self):
+        r = check_deadlock_free(Mesh2D(4, 4), BadRingRouting())
+        assert not r.acyclic
+
+
+class TestCdgMechanics:
+    def test_channel_counts(self):
+        # 5x5 mesh: 40 links x 2 directions x 1 vc = 80 channels for XY
+        r = check_deadlock_free(Mesh2D(5, 5), XYRouting())
+        assert r.summary()["channels"] == 80
+
+    def test_reachability_pruning(self):
+        """The CDG only contains channels some message can use: XY never
+        enters a north/south channel and then an east/west one."""
+        net = Network(Mesh2D(4, 4), XYRouting())
+        r = build_cdg(net)
+        from repro.sim import EAST, NORTH, SOUTH, WEST
+        for (na, pa, _), (nb, pb, _) in r.graph.edges():
+            if pa in (NORTH, SOUTH):
+                assert pb in (NORTH, SOUTH), "XY turned off the y axis"

@@ -1,0 +1,73 @@
+"""Tests for the livelock analysis (Section 3, Lifelock Avoidance)."""
+
+import numpy as np
+
+from repro.analysis import (certify_progress, nafta_bound, path_inflation)
+from repro.routing import NaftaRouting
+from repro.sim import (FaultSchedule, Mesh2D, Network, TrafficGenerator,
+                       random_link_faults)
+
+
+def finished_network(n_faults=0, seed=5, load=0.12, cycles=1200):
+    topo = Mesh2D(6, 6)
+    net = Network(topo, NaftaRouting())
+    if n_faults:
+        rng = np.random.default_rng(seed)
+        links = random_link_faults(topo, n_faults, rng)
+        net.schedule_faults(FaultSchedule.static(links=links))
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=load,
+                                        message_length=3, seed=seed + 1))
+    net.run(cycles)
+    net.traffic = None
+    net.run_until_drained()
+    return net
+
+
+class TestPathInflation:
+    def test_fault_free_paths_are_minimal(self):
+        net = finished_network()
+        infl = path_inflation(net)
+        assert infl.max == 1.0
+        assert infl.misrouted_share == 0.0
+
+    def test_faults_inflate_some_paths(self):
+        net = finished_network(n_faults=5)
+        infl = path_inflation(net, bound=nafta_bound(net))
+        assert infl.misrouted_share > 0.0
+        assert infl.mean > 1.0
+        assert infl.max <= infl.bound
+
+    def test_summary_keys(self):
+        net = finished_network()
+        s = path_inflation(net).summary()
+        assert {"messages", "mean_inflation", "p99_inflation",
+                "misrouted_share"} <= set(s)
+
+
+class TestProgressCertificate:
+    def test_certificate_holds_fault_free(self):
+        net = finished_network()
+        cert = certify_progress(net, bound=nafta_bound(net))
+        assert cert.holds
+        assert cert.declared_unroutable == 0
+        assert cert.delivered == cert.accepted
+
+    def test_certificate_holds_with_faults(self):
+        net = finished_network(n_faults=6)
+        cert = certify_progress(net, bound=nafta_bound(net))
+        assert cert.holds
+        assert cert.delivered + cert.declared_unroutable == cert.accepted
+
+    def test_certificate_detects_undrained_network(self):
+        topo = Mesh2D(6, 6)
+        net = Network(topo, NaftaRouting())
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.2,
+                                            message_length=4, seed=2))
+        net.run(300)  # messages still in flight
+        cert = certify_progress(net)
+        assert not cert.holds
+
+    def test_bound_violation_detected(self):
+        net = finished_network(n_faults=5)
+        cert = certify_progress(net, bound=1)  # absurd bound
+        assert not cert.holds

@@ -1,0 +1,295 @@
+"""Unit tests for the rule compiler (expansion, atoms, encoding, FCFBs,
+table generation)."""
+
+import pytest
+
+from repro.core.compiler import (NO_RULE, CompiledRuleBase, compile_program)
+from repro.core.dsl import CompileError
+
+from .test_parser import ROUTE_C_EXCERPT
+
+
+def compile_one(src, name=None, **params):
+    cp = compile_program(src, params=params or None)
+    if name is None:
+        name = next(iter(cp.rulebases))
+    return cp, cp.rulebases[name]
+
+
+class TestExpansion:
+    def test_forall_command_unrolls(self):
+        _, rb = compile_one("""
+        CONSTANT dirs = 3
+        VARIABLE x IN 0 TO 1
+        EVENT ping(0 TO 2)
+        ON go()
+          IF x = 0 THEN FORALL i IN dirs: !ping(i);
+        END go;
+        """)
+        cmds = rb.ground_rules[0].commands
+        assert len(cmds) == 3
+        assert [c.args[0].value for c in cmds] == [0, 1, 2]
+
+    def test_exists_expands_to_or(self):
+        _, rb = compile_one("""
+        CONSTANT dirs = 4
+        INPUT busy(0 TO 3) IN bool
+        VARIABLE x IN 0 TO 1
+        ON go()
+          IF EXISTS i IN dirs: busy(i) = true THEN x <- 1;
+        END go;
+        """)
+        # one ground rule (no witness use), OR of 4 atoms -> 4 bit features
+        assert len(rb.ground_rules) == 1
+        assert rb.n_entries == 16
+
+    def test_witness_splitting(self):
+        _, rb = compile_one("""
+        CONSTANT dirs = 4
+        INPUT busy(0 TO 3) IN bool
+        ON pick() RETURNS 0 TO 3
+          IF EXISTS i IN dirs: busy(i) = false THEN RETURN(i);
+        END pick;
+        """)
+        # witness used in conclusion -> one ground rule per candidate
+        assert len(rb.ground_rules) == 4
+        assert [g.witness for g in rb.ground_rules] == [
+            (("i", 0),), (("i", 1),), (("i", 2),), (("i", 3),)]
+
+    def test_forall_over_computed_set_in_conclusion_rejected(self):
+        with pytest.raises(CompileError):
+            compile_one("""
+            FUNCTION minimal(0 TO 3) IN SET OF 0 TO 3
+            INPUT d IN 0 TO 3
+            EVENT ping(0 TO 3)
+            VARIABLE x IN 0 TO 1
+            ON go()
+              IF x = 0 THEN FORALL i IN minimal(d): !ping(i);
+            END go;
+            """)
+
+    def test_computed_set_quantifier_gets_guards(self):
+        _, rb = compile_one("""
+        FUNCTION minimal(0 TO 7, 0 TO 7) IN SET OF 0 TO 3 FCFB "mesh distance computation"
+        INPUT dx IN 0 TO 7
+        INPUT dy IN 0 TO 7
+        INPUT busy(0 TO 3) IN bool
+        ON pick() RETURNS 0 TO 3
+          IF EXISTS i IN minimal(dx, dy): busy(i) = false THEN RETURN(i);
+        END pick;
+        """)
+        assert len(rb.ground_rules) == 4
+        # the computed set is used by 4 membership guards, so its 4-bit
+        # mask feeds the index directly (no per-guard membership FCFB);
+        # the block computing the set itself is still required
+        assert "mesh distance computation" in rb.fcfb_kinds
+        # 16 set masks x 2^4 busy bits
+        assert rb.n_entries == 256
+
+
+class TestFeatures:
+    def test_frequently_compared_signal_goes_direct(self):
+        _, rb = compile_one("""
+        CONSTANT st = {a, b, c, d}
+        VARIABLE s IN st
+        VARIABLE out IN 0 TO 3
+        ON go()
+          IF s = a THEN out <- 0;
+          IF s = b THEN out <- 1;
+          IF s = c THEN out <- 2;
+          IF s = d THEN out <- 3;
+        END go;
+        """)
+        # 4 atoms on a 2-bit signal -> direct (4 entries, not 16)
+        assert rb.n_entries == 4
+
+    def test_rarely_compared_signal_stays_bit(self):
+        _, rb = compile_one("""
+        VARIABLE v IN 0 TO 255
+        VARIABLE out IN 0 TO 1
+        ON go()
+          IF v = 17 THEN out <- 1;
+        END go;
+        """)
+        # one atom on an 8-bit signal -> 1-bit feature
+        assert rb.n_entries == 2
+        assert "compare with constant" in rb.fcfb_kinds
+
+    def test_two_signal_compare_is_magnitude_comparator(self):
+        _, rb = compile_one("""
+        INPUT a IN 0 TO 255
+        INPUT b IN 0 TO 255
+        VARIABLE out IN 0 TO 1
+        ON go()
+          IF a < b THEN out <- 1;
+        END go;
+        """)
+        assert rb.n_entries == 2
+        assert "magnitude comparator" in rb.fcfb_kinds
+
+    def test_derived_atoms_need_no_fcfb(self):
+        _, rb = compile_one("""
+        VARIABLE s IN 0 TO 3
+        VARIABLE out IN 0 TO 3
+        ON go()
+          IF s = 0 THEN out <- 1;
+          IF s = 1 THEN out <- 2;
+          IF s = 2 THEN out <- 3;
+          IF s > 2 THEN out <- 0;
+        END go;
+        """)
+        # all atoms fold into the direct value: no premise FCFBs at all
+        premise_kinds = {"compare with constant", "magnitude comparator",
+                         "membership testing", "equality comparator"}
+        assert not premise_kinds & set(rb.fcfb_kinds)
+
+    def test_duplicate_atoms_share_one_feature(self):
+        _, rb = compile_one("""
+        INPUT a IN 0 TO 255
+        INPUT b IN 0 TO 255
+        VARIABLE out IN 0 TO 3
+        ON go()
+          IF a < b THEN out <- 1;
+          IF a < b OR a = 0 THEN out <- 2;
+        END go;
+        """)
+        # 'a < b' appears twice but is one feature; 'a = 0' is another
+        assert rb.n_entries == 4
+
+
+class TestTable:
+    def test_first_applicable_rule_wins(self):
+        cp, rb = compile_one("""
+        VARIABLE v IN 0 TO 3
+        VARIABLE out IN 0 TO 3
+        ON go()
+          IF v < 2 THEN out <- 1;
+          IF v < 3 THEN out <- 2;
+        END go;
+        """)
+        # overlapping premises: entries where both hold pick rule 0
+        stats = rb.stats()
+        assert stats["rules_used"] == 2
+
+    def test_gaps_map_to_no_rule(self):
+        _, rb = compile_one("""
+        VARIABLE v IN 0 TO 3
+        VARIABLE out IN 0 TO 1
+        ON go()
+          IF v = 1 THEN out <- 1;
+        END go;
+        """)
+        stats = rb.stats()
+        assert stats["gap_entries"] == stats["entries"] - 1
+
+    def test_table_completely_filled(self):
+        _, rb = compile_one(ROUTE_C_EXCERPT)
+        assert rb.table is not None
+        assert rb.table.size == rb.n_entries
+
+    def test_materialize_false_skips_table(self):
+        cp = compile_program("""
+        VARIABLE v IN 0 TO 3
+        VARIABLE out IN 0 TO 1
+        ON go()
+          IF v = 1 THEN out <- 1;
+        END go;
+        """, materialize=False)
+        rb = cp.rulebases["go"]
+        assert rb.table is None
+        assert rb.size_bits > 0  # cost figures still available
+
+    def test_oversized_table_rejected(self):
+        with pytest.raises(CompileError):
+            compile_one("""
+            INPUT a IN 0 TO 4095
+            INPUT b IN 0 TO 4095
+            INPUT c IN 0 TO 4095
+            VARIABLE out IN 0 TO 1
+            ON go()
+              IF a = 0 AND a = 1 AND a = 2 AND a = 3 AND a = 4 AND a = 5
+                 AND a = 6 AND a = 7 AND a = 8 AND a = 9 AND a = 10 AND a = 11
+                 AND b = 0 AND b = 1 AND b = 2 AND b = 3 AND b = 4 AND b = 5
+                 AND b = 6 AND b = 7 AND b = 8 AND b = 9 AND b = 10 AND b = 11
+                 AND c = 0 AND c = 1 AND c = 2 AND c = 3 AND c = 4 AND c = 5
+                 AND c = 6 AND c = 7 AND c = 8 AND c = 9 AND c = 10 AND c = 11
+              THEN out <- 1;
+            END go;
+            """)
+
+
+class TestEncoding:
+    def test_width_counts_slots(self):
+        _, rb = compile_one("""
+        VARIABLE a IN 0 TO 1
+        VARIABLE b IN 0 TO 1
+        ON go()
+          IF a = 0 THEN a <- 1;
+          IF a = 1 AND b = 0 THEN a <- 0, b <- 1;
+        END go;
+        """)
+        # slots: assign a (2 variants -> 1+1), assign b (1 variant -> 1)
+        assert rb.width == 3
+
+    def test_const_return_stores_value_directly(self):
+        _, rb = compile_one("""
+        CONSTANT dirs = {n, e, s, w}
+        VARIABLE v IN 0 TO 3
+        ON go() RETURNS dirs
+          IF v = 0 THEN RETURN(n);
+          IF v = 1 THEN RETURN(e);
+          IF v = 2 THEN RETURN(s);
+          IF v = 3 THEN RETURN(w);
+        END go;
+        """)
+        # return slot: 1 valid bit + 2 value bits
+        assert rb.width == 3
+
+    def test_identical_conclusions_dedup(self):
+        _, rb = compile_one("""
+        VARIABLE v IN 0 TO 3
+        VARIABLE out IN 0 TO 1
+        ON go()
+          IF v = 0 THEN out <- 1;
+          IF v = 3 THEN out <- 1;
+        END go;
+        """)
+        assert len(rb.encoding.conclusion_words) == 1
+        assert rb.width == 1  # single enable bit, one variant
+
+    def test_paper_excerpt_compiles_with_expected_shape(self):
+        cp, rb = compile_one(ROUTE_C_EXCERPT, name="update_state")
+        stats = rb.stats()
+        assert stats["dead_rules"] == []
+        assert rb.writes == frozenset(
+            {"neighb_state", "number_faulty", "number_unsafe", "state"})
+        assert rb.emits == frozenset({"send_newmessage"})
+
+
+class TestRegisterAccounting:
+    def test_register_bits(self):
+        cp, _ = compile_one(ROUTE_C_EXCERPT)
+        # number_unsafe (3) + number_faulty (3) + state (3) + neighb 4x3
+        assert cp.register_bits() == 21
+
+    def test_register_report_writers(self):
+        cp, _ = compile_one(ROUTE_C_EXCERPT)
+        rep = {r["name"]: r for r in cp.register_report()}
+        assert rep["state"]["writers"] == ["update_state"]
+        assert rep["state"]["readers"] == ["update_state"]
+
+
+class TestSubbaseCompilation:
+    def test_subbase_compiled_separately(self):
+        cp = compile_program("""
+        SUBBASE inc(x IN 0 TO 6) RETURNS 0 TO 7
+          IF x >= 0 THEN RETURN(x + 1);
+        END inc;
+        VARIABLE v IN 0 TO 7
+        ON go()
+          IF v < 7 THEN v <- inc(v);
+        END go;
+        """)
+        assert "inc" in cp.subbases
+        assert cp.rulebases["go"].calls == frozenset({"inc"})
+        assert "subbase lookup" in cp.rulebases["go"].fcfb_kinds

@@ -1,0 +1,120 @@
+"""Error-path and diagnostic tests for the compiler stack."""
+
+import pytest
+
+from repro.core import RuleEngine
+from repro.core.compiler import compile_program
+from repro.core.dsl import (CompileError, EvalError, LexError, ParseError,
+                            SemanticError)
+
+
+class TestFrontEndErrors:
+    def test_lex_error_propagates(self):
+        with pytest.raises(LexError):
+            compile_program("VARIABLE x IN 0 TO 3 @")
+
+    def test_parse_error_propagates(self):
+        with pytest.raises(ParseError):
+            compile_program("ON f() IF THEN RETURN(1); END f;")
+
+    def test_semantic_error_propagates(self):
+        with pytest.raises(SemanticError):
+            compile_program("ON f() IF nothing = 1 THEN RETURN(1); END f;")
+
+    def test_missing_param_reported(self):
+        with pytest.raises(SemanticError):
+            compile_program("VARIABLE x IN 0 TO d - 1")  # d undefined
+
+    def test_param_fixes_it(self):
+        cp = compile_program("VARIABLE x IN 0 TO d - 1\n"
+                             "ON f() IF x = 0 THEN x <- 1; END f;",
+                             params={"d": 4})
+        assert cp.rulebases["f"].n_entries >= 2
+
+
+class TestRuntimeErrors:
+    def test_missing_input_raises_at_runtime(self):
+        eng = RuleEngine("INPUT a IN 0 TO 3\nVARIABLE x IN 0 TO 3\n"
+                         "ON f() IF a = 1 THEN x <- 1; END f;")
+        with pytest.raises(EvalError):
+            eng.call("f")
+
+    def test_wrong_arity_call(self):
+        eng = RuleEngine("ON f(a IN 0 TO 3) IF a = 0 THEN !g(); END f;\n"
+                         "EVENT g()")
+        with pytest.raises(EvalError):
+            eng.call("f")  # missing argument
+        with pytest.raises(EvalError):
+            eng.call("f", 1, 2)  # too many
+
+    def test_argument_domain_checked(self):
+        eng = RuleEngine("VARIABLE x IN 0 TO 1\n"
+                         "ON f(a IN 0 TO 3) IF a = 0 THEN x <- 1; END f;")
+        with pytest.raises(SemanticError):
+            eng.call("f", 9)
+
+    def test_unknown_base(self):
+        eng = RuleEngine("VARIABLE x IN 0 TO 1\n"
+                         "ON f() IF x = 0 THEN x <- 1; END f;")
+        with pytest.raises((EvalError, KeyError)):
+            eng.call("nope")
+
+    def test_post_unknown_event(self):
+        eng = RuleEngine("VARIABLE x IN 0 TO 1\n"
+                         "ON f() IF x = 0 THEN x <- 1; END f;")
+        with pytest.raises(EvalError):
+            eng.post("nothing")
+
+    def test_strict_mode_overflow(self):
+        eng = RuleEngine("VARIABLE x IN 0 TO 3\n"
+                         "ON f() IF x >= 0 THEN x <- x + 1; END f;",
+                         coerce="strict")
+        for _ in range(3):
+            eng.call("f")
+        with pytest.raises(EvalError):
+            eng.call("f")  # 3 + 1 overflows 0..3
+
+    def test_saturate_mode_clamps(self):
+        eng = RuleEngine("VARIABLE x IN 0 TO 3\n"
+                         "ON f() IF x >= 0 THEN x <- x + 1; END f;")
+        for _ in range(6):
+            eng.call("f")
+        assert eng.registers.read("x") == 3
+
+    def test_impure_subbase_in_expression_rejected(self):
+        eng = RuleEngine("""
+        VARIABLE y IN 0 TO 3
+        SUBBASE sneaky(a IN 0 TO 3) RETURNS 0 TO 3
+          IF a >= 0 THEN RETURN(a), y <- 1;
+        END sneaky;
+        VARIABLE x IN 0 TO 3
+        ON f() IF sneaky(1) = 1 THEN x <- 1; END f;
+        """)
+        with pytest.raises(EvalError):
+            eng.call("f")
+
+
+class TestDeterminism:
+    def test_compilation_is_deterministic(self):
+        src = """
+        CONSTANT st = {a, b, c}
+        VARIABLE s IN st
+        VARIABLE n IN 0 TO 7
+        ON f()
+          IF s = a AND n < 3 THEN n <- n + 1;
+          IF s = b OR n = 7 THEN s <- c;
+        END f;
+        """
+        cp1 = compile_program(src)
+        cp2 = compile_program(src)
+        rb1, rb2 = cp1.rulebases["f"], cp2.rulebases["f"]
+        assert (rb1.table == rb2.table).all()
+        assert rb1.width == rb2.width
+        assert [repr(f) for f in rb1.analysis.features] == \
+            [repr(f) for f in rb2.analysis.features]
+
+    def test_ruleset_compilation_stable_across_params(self):
+        from repro.routing.rulesets import compile_ruleset
+        a = compile_ruleset("route_c", {"d": 5, "a": 2})
+        b = compile_ruleset("route_c", {"d": 5, "a": 2})
+        assert a.total_table_bits == b.total_table_bits

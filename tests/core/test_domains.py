@@ -1,0 +1,148 @@
+"""Unit and property-based tests for finite value domains."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dsl import (IntRange, SetDomain, SymbolDomain, UnionDomain,
+                            SemanticError, bits_for)
+
+
+class TestBitsFor:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (1024, 10),
+    ])
+    def test_values(self, n, expected):
+        assert bits_for(n) == expected
+
+
+class TestIntRange:
+    def test_size_and_values(self):
+        d = IntRange(2, 5)
+        assert d.size == 4
+        assert list(d.values()) == [2, 3, 4, 5]
+
+    def test_contains(self):
+        d = IntRange(0, 3)
+        assert d.contains(0) and d.contains(3)
+        assert not d.contains(4)
+        assert not d.contains(-1)
+        assert not d.contains("0")
+        assert not d.contains(True)  # bools are not DSL integers
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SemanticError):
+            IntRange(3, 2)
+
+    def test_bit_width(self):
+        assert IntRange(0, 3).bit_width == 2
+        assert IntRange(0, 4).bit_width == 3
+        assert IntRange(5, 5).bit_width == 1
+
+    def test_negative_range(self):
+        d = IntRange(-2, 1)
+        assert d.size == 4
+        assert d.encode(-2) == 0
+        assert d.decode(3) == 1
+
+
+class TestSymbolDomain:
+    def test_roundtrip(self):
+        d = SymbolDomain(("safe", "faulty", "ounsafe"))
+        for s in d.values():
+            assert d.decode(d.encode(s)) == s
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(SemanticError):
+            SymbolDomain(("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SemanticError):
+            SymbolDomain(())
+
+    def test_default_is_first(self):
+        assert SymbolDomain(("safe", "faulty")).default() == "safe"
+
+
+class TestUnionDomain:
+    def test_int_plus_symbols(self):
+        d = UnionDomain((IntRange(0, 3), SymbolDomain(("none",))))
+        assert d.size == 5
+        assert d.contains(2) and d.contains("none")
+        assert d.encode("none") == 4
+        assert d.decode(4) == "none"
+
+    def test_overlapping_parts_rejected(self):
+        with pytest.raises(SemanticError):
+            UnionDomain((IntRange(0, 3), IntRange(2, 5)))
+
+
+class TestSetDomain:
+    def test_bit_width_is_base_size(self):
+        d = SetDomain(IntRange(0, 3))
+        assert d.bit_width == 4
+        assert d.size == 16
+
+    def test_encode_is_bitmask(self):
+        d = SetDomain(IntRange(0, 3))
+        assert d.encode(frozenset({0, 2})) == 0b101
+        assert d.decode(0b1010) == frozenset({1, 3})
+
+    def test_default_is_empty_set(self):
+        assert SetDomain(IntRange(0, 1)).default() == frozenset()
+
+    def test_contains_checks_members(self):
+        d = SetDomain(IntRange(0, 1))
+        assert d.contains(frozenset({0, 1}))
+        assert not d.contains(frozenset({2}))
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+int_ranges = st.integers(-50, 50).flatmap(
+    lambda lo: st.integers(lo, lo + 60).map(lambda hi: IntRange(lo, hi)))
+
+
+@given(int_ranges)
+def test_intrange_encode_decode_roundtrip(d):
+    for v in d.values():
+        assert d.decode(d.encode(v)) == v
+
+
+@given(int_ranges)
+def test_intrange_codes_are_dense(d):
+    codes = [d.encode(v) for v in d.values()]
+    assert codes == list(range(d.size))
+
+
+@given(int_ranges)
+def test_bit_width_sufficient(d):
+    assert d.size <= 2 ** d.bit_width
+
+
+symbol_domains = st.lists(
+    st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+    min_size=1, max_size=8, unique=True,
+).map(lambda syms: SymbolDomain(tuple(syms)))
+
+
+@given(symbol_domains)
+def test_symbol_encode_decode_roundtrip(d):
+    for v in d.values():
+        assert d.decode(d.encode(v)) == v
+
+
+@given(st.integers(0, 6), st.sets(st.integers(0, 6)))
+def test_setdomain_mask_roundtrip(hi, members):
+    d = SetDomain(IntRange(0, hi))
+    value = frozenset(m for m in members if m <= hi)
+    assert d.decode(d.encode(value)) == value
+
+
+@given(st.integers(0, 5))
+def test_setdomain_enumerates_powerset(hi):
+    d = SetDomain(IntRange(0, hi))
+    vals = list(d.values())
+    assert len(vals) == 2 ** (hi + 1)
+    assert len(set(vals)) == len(vals)

@@ -1,0 +1,140 @@
+"""Differential tests: compiled rule tables (RBR-kernel model) must
+agree bit-for-bit with the reference AST interpreter.
+
+This is the keystone correctness property of the whole compiler stack:
+the paper's claim that rule-table execution "is able to outperform
+software solutions" only matters if the table computes the same
+function as the rule semantics.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RuleEngine
+from repro.core.compiler import compile_program
+
+from .test_parser import ROUTE_C_EXCERPT
+
+DECIDER = """
+CONSTANT dirs = {north, east, south, west}
+INPUT xpos IN 0 TO 7
+INPUT xdes IN 0 TO 7
+INPUT ypos IN 0 TO 7
+INPUT ydes IN 0 TO 7
+INPUT load(0 TO 3) IN 0 TO 15
+ON decide() RETURNS dirs
+  IF xpos < xdes AND load(1) <= load(3) THEN RETURN(east);
+  IF xpos > xdes AND load(3) <= load(1) THEN RETURN(west);
+  IF xpos < xdes THEN RETURN(east);
+  IF xpos > xdes THEN RETURN(west);
+  IF ypos < ydes THEN RETURN(north);
+  IF ypos > ydes THEN RETURN(south);
+END decide;
+"""
+
+PICKER = """
+CONSTANT n = 5
+INPUT busy(0 TO 4) IN bool
+INPUT q(0 TO 4) IN 0 TO 3
+ON pick() RETURNS 0 TO 4
+  IF EXISTS i IN n: busy(i) = false AND q(i) = 0 THEN RETURN(i);
+  IF EXISTS i IN n: busy(i) = false THEN RETURN(i);
+END pick;
+"""
+
+
+def results_equal(a, b):
+    return (a.fired_source_rule == b.fired_source_rule
+            and a.returned == b.returned
+            and a.has_return == b.has_return
+            and a.emissions == b.emissions
+            and a.writes == b.writes)
+
+
+def make_pair(src):
+    compiled = compile_program(src)
+    table = RuleEngine(compiled, mode="table")
+    ast = RuleEngine(compiled, mode="ast")
+    return table, ast
+
+
+class TestDeciderEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7),
+           st.integers(0, 7), st.lists(st.integers(0, 15), min_size=4,
+                                       max_size=4))
+    def test_same_decision(self, xpos, xdes, ypos, ydes, loads):
+        table, ast = make_pair(DECIDER)
+        inputs = {"xpos": xpos, "xdes": xdes, "ypos": ypos, "ydes": ydes,
+                  "load": {(i,): v for i, v in enumerate(loads)}}
+        table.set_inputs(inputs)
+        ast.set_inputs(inputs)
+        assert results_equal(table.call("decide"), ast.call("decide"))
+
+
+class TestWitnessEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.booleans(), min_size=5, max_size=5),
+           st.lists(st.integers(0, 3), min_size=5, max_size=5))
+    def test_same_witness(self, busy, q):
+        table, ast = make_pair(PICKER)
+        inputs = {
+            "busy": {(i,): ("true" if b else "false")
+                     for i, b in enumerate(busy)},
+            "q": {(i,): v for i, v in enumerate(q)},
+        }
+        table.set_inputs(inputs)
+        ast.set_inputs(inputs)
+        assert results_equal(table.call("pick"), ast.call("pick"))
+
+
+class TestStatefulEquivalence:
+    states = st.sampled_from(["safe", "faulty", "ounsafe", "sunsafe", "lfault"])
+
+    @settings(max_examples=150, deadline=None)
+    @given(dir_=st.integers(0, 3),
+           new_states=st.lists(states, min_size=4, max_size=4),
+           number_unsafe=st.integers(0, 4),
+           number_faulty=st.integers(0, 4),
+           state=states)
+    def test_update_state_same_effects(self, dir_, new_states,
+                                       number_unsafe, number_faulty, state):
+        table, ast = make_pair(ROUTE_C_EXCERPT)
+        for e in (table, ast):
+            e.registers.write("number_unsafe", number_unsafe)
+            e.registers.write("number_faulty", number_faulty)
+            e.registers.write("state", state)
+            e.set_inputs({"new_state": {(i,): s
+                                        for i, s in enumerate(new_states)}})
+        rt = table.call("update_state", dir_)
+        ra = ast.call("update_state", dir_)
+        assert results_equal(rt, ra)
+        assert table.registers.snapshot() == ast.registers.snapshot()
+
+
+class TestExhaustiveEquivalence:
+    """Small enough rule bases are checked over their entire input space."""
+
+    SRC = """
+    CONSTANT st = {idle, work, done}
+    VARIABLE mode IN st
+    VARIABLE count IN 0 TO 3
+    ON tick()
+      IF mode = idle AND count = 0 THEN mode <- work;
+      IF mode = work AND count < 3 THEN count <- count + 1;
+      IF mode = work AND count = 3 THEN mode <- done;
+      IF mode = done THEN mode <- idle, count <- 0;
+    END tick;
+    """
+
+    @pytest.mark.parametrize("mode_v", ["idle", "work", "done"])
+    @pytest.mark.parametrize("count", [0, 1, 2, 3])
+    def test_all_states(self, mode_v, count):
+        table, ast = make_pair(self.SRC)
+        for e in (table, ast):
+            e.registers.write("mode", mode_v)
+            e.registers.write("count", count)
+        rt = table.call("tick")
+        ra = ast.call("tick")
+        assert results_equal(rt, ra)
+        assert table.registers.snapshot() == ast.registers.snapshot()

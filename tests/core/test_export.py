@@ -1,0 +1,100 @@
+"""Tests for configuration-data export (the Rule Compiler's output)."""
+
+import json
+
+import pytest
+
+from repro.core.compiler import (compile_program, export_program,
+                                 export_rulebase, import_check,
+                                 pack_bitstream, table_words,
+                                 unpack_bitstream)
+from repro.core.dsl import CompileError
+from repro.routing.rulesets import compile_ruleset
+
+SRC = """
+CONSTANT st = {idle, work, done}
+VARIABLE mode IN st
+VARIABLE count IN 0 TO 3
+ON tick()
+  IF mode = idle THEN mode <- work;
+  IF mode = work AND count < 3 THEN count <- count + 1;
+  IF mode = work AND count = 3 THEN mode <- done;
+END tick;
+"""
+
+
+class TestBitstream:
+    def test_pack_unpack_roundtrip(self):
+        words = [0b101, 0b010, 0b111, 0b000]
+        blob = pack_bitstream(words, 3)
+        assert unpack_bitstream(blob, 3, 4) == words
+
+    def test_width_one(self):
+        words = [1, 0, 1, 1, 0]
+        blob = pack_bitstream(words, 1)
+        assert unpack_bitstream(blob, 1, 5) == words
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CompileError):
+            pack_bitstream([0b1000], 3)
+
+
+class TestExport:
+    def test_rulebase_record_fields(self):
+        cp = compile_program(SRC)
+        rec = export_rulebase(cp.rulebases["tick"])
+        assert rec["name"] == "tick"
+        assert rec["entries"] == cp.rulebases["tick"].n_entries
+        assert rec["size_bits"] == rec["entries"] * rec["width"]
+        assert len(rec["index_plan"]) == len(
+            cp.rulebases["tick"].analysis.features)
+        assert rec["table_words"] == rec["entries"]
+
+    def test_record_is_json_serializable(self):
+        cp = compile_program(SRC)
+        rec = export_program(cp)
+        blob = json.dumps(rec)
+        back = json.loads(blob)
+        assert back["total_table_bits"] == cp.total_table_bits
+
+    def test_roundtrip_guard(self):
+        cp = compile_program(SRC)
+        rec = export_rulebase(cp.rulebases["tick"])
+        assert import_check(rec, cp.rulebases["tick"])
+
+    def test_tampered_table_detected(self):
+        cp = compile_program(SRC)
+        rec = export_rulebase(cp.rulebases["tick"])
+        blob = bytearray(bytes.fromhex(rec["table"]))
+        blob[0] ^= 0xFF
+        rec["table"] = bytes(blob).hex()
+        assert not import_check(rec, cp.rulebases["tick"])
+
+    def test_gap_entries_are_all_zero_words(self):
+        cp = compile_program("""
+        VARIABLE v IN 0 TO 3
+        VARIABLE out IN 0 TO 1
+        ON go()
+          IF v = 1 THEN out <- 1;
+        END go;
+        """)
+        rb = cp.rulebases["go"]
+        words = table_words(rb)
+        zeros = sum(1 for w in words if w == 0)
+        assert zeros == rb.stats()["gap_entries"]
+
+    def test_unmaterialized_table_rejected(self):
+        cp = compile_program(SRC, materialize=False)
+        with pytest.raises(CompileError):
+            table_words(cp.rulebases["tick"])
+
+    @pytest.mark.parametrize("ruleset,params", [
+        ("nafta", None),
+        ("route_c", {"d": 4, "a": 2}),
+    ])
+    def test_shipped_rulesets_export_cleanly(self, ruleset, params):
+        cp = compile_ruleset(ruleset, params)
+        rec = export_program(cp)
+        json.dumps(rec)  # must be serializable
+        for name, rb in cp.rulebases.items():
+            assert import_check(rec["rulebases"][name], rb), name

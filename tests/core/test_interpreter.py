@@ -1,0 +1,292 @@
+"""Unit tests for the rule interpreter stack (registers, engine,
+event manager, timing)."""
+
+import pytest
+
+from repro.core import RuleEngine
+from repro.core.dsl import EvalError
+from repro.core.interpreter import DelayModel, RegisterFile
+from repro.core.dsl.semantics import analyze_source
+
+from .test_parser import ROUTE_C_EXCERPT
+
+
+class TestRegisterFile:
+    def make(self, coerce="saturate"):
+        a = analyze_source("""
+        CONSTANT st = {safe, faulty}
+        VARIABLE counter IN 0 TO 4
+        VARIABLE state IN st
+        VARIABLE arr(0 TO 2) IN 0 TO 7
+        VARIABLE flags IN SET OF 0 TO 3
+        """)
+        return RegisterFile(a, coerce=coerce)
+
+    def test_initial_values(self):
+        r = self.make()
+        assert r.read("counter") == 0
+        assert r.read("state") == "safe"
+        assert r.read("arr", (1,)) == 0
+        assert r.read("flags") == frozenset()
+
+    def test_write_read(self):
+        r = self.make()
+        r.write("counter", 3)
+        r.write("arr", 5, (2,))
+        assert r.read("counter") == 3
+        assert r.read("arr", (2,)) == 5
+        assert r.read("arr", (0,)) == 0
+
+    def test_saturate_clamps_integer(self):
+        r = self.make()
+        r.write("counter", 99)
+        assert r.read("counter") == 4
+        r.write("counter", -5)
+        assert r.read("counter") == 0
+
+    def test_strict_raises_on_overflow(self):
+        r = self.make(coerce="strict")
+        with pytest.raises(EvalError):
+            r.write("counter", 99)
+
+    def test_symbol_out_of_domain_always_raises(self):
+        r = self.make()
+        with pytest.raises(EvalError):
+            r.write("state", "ounsafe")
+
+    def test_set_saturate_filters_members(self):
+        r = self.make()
+        r.write("flags", frozenset({1, 2, 9}))
+        assert r.read("flags") == frozenset({1, 2})
+
+    def test_bad_index_raises(self):
+        r = self.make()
+        with pytest.raises(EvalError):
+            r.read("arr", (7,))
+
+    def test_unknown_register_raises(self):
+        r = self.make()
+        with pytest.raises(EvalError):
+            r.read("nope")
+
+    def test_reset_restores_init(self):
+        r = self.make()
+        r.write("counter", 3)
+        r.reset()
+        assert r.read("counter") == 0
+
+    def test_snapshot_roundtrip(self):
+        r = self.make()
+        r.write("counter", 2)
+        r.write("arr", 7, (0,))
+        snap = r.snapshot()
+        r.reset()
+        r.load(snap)
+        assert r.read("counter") == 2
+        assert r.read("arr", (0,)) == 7
+
+
+@pytest.fixture(params=["table", "ast"])
+def mode(request):
+    return request.param
+
+
+class TestEngineDecisions:
+    SRC = """
+    CONSTANT dirs = {north, east, south, west}
+    INPUT xpos IN 0 TO 7
+    INPUT xdes IN 0 TO 7
+    INPUT ypos IN 0 TO 7
+    INPUT ydes IN 0 TO 7
+    ON decide() RETURNS dirs
+      IF xpos < xdes THEN RETURN(east);
+      IF xpos > xdes THEN RETURN(west);
+      IF xpos = xdes AND ypos < ydes THEN RETURN(north);
+      IF xpos = xdes AND ypos > ydes THEN RETURN(south);
+    END decide;
+    """
+
+    def test_decision(self, mode):
+        e = RuleEngine(self.SRC, mode=mode)
+        e.set_inputs({"xpos": 1, "xdes": 6, "ypos": 0, "ydes": 0})
+        assert e.decide("decide") == "east"
+
+    def test_no_rule_applies(self, mode):
+        e = RuleEngine(self.SRC, mode=mode)
+        e.set_inputs({"xpos": 3, "xdes": 3, "ypos": 2, "ydes": 2})
+        res = e.call("decide")
+        assert res.fired_source_rule is None
+        assert not res.has_return
+
+    def test_decide_raises_without_decision(self, mode):
+        e = RuleEngine(self.SRC, mode=mode)
+        e.set_inputs({"xpos": 3, "xdes": 3, "ypos": 2, "ydes": 2})
+        with pytest.raises(EvalError):
+            e.decide("decide")
+
+    def test_steps_counted(self, mode):
+        e = RuleEngine(self.SRC, mode=mode)
+        e.set_inputs({"xpos": 0, "xdes": 1, "ypos": 0, "ydes": 0})
+        e.decide("decide")
+        e.decide("decide")
+        assert e.steps == 2
+        e.reset_steps()
+        assert e.steps == 0
+
+
+class TestEngineStateUpdate:
+    def test_route_c_excerpt_state_machine(self, mode):
+        e = RuleEngine(ROUTE_C_EXCERPT, mode=mode)
+        # first faulty neighbour: counters move, no propagation
+        e.set_inputs({"new_state": {(0,): "faulty", (1,): "safe",
+                                    (2,): "safe", (3,): "safe"}})
+        e.post("update_state", 0)
+        e.run()
+        assert e.registers.read("number_faulty") == 1
+        assert e.registers.read("number_unsafe") == 1
+        assert e.registers.read("state") == "safe"
+        assert e.registers.read("neighb_state", (0,)) == "faulty"
+
+    def test_unsafe_threshold_triggers_propagation(self, mode):
+        e = RuleEngine(ROUTE_C_EXCERPT, mode=mode)
+        e.registers.write("number_unsafe", 2)
+        e.set_inputs({"new_state": {(1,): "ounsafe", (0,): "safe",
+                                    (2,): "safe", (3,): "safe"}})
+        e.post("update_state", 1)
+        e.run()
+        assert e.registers.read("state") == "ounsafe"
+        assert e.registers.read("number_unsafe") == 3
+        # 4 outgoing notifications, one per direction, leave the machine
+        ext = e.drain_external()
+        assert len(ext) == 4
+        assert {em.args[0] for em in ext} == {0, 1, 2, 3}
+        assert all(em.event == "send_newmessage" for em in ext)
+        assert all(em.args[1] == "ounsafe" for em in ext)
+
+    def test_parallel_conclusion_snapshot_semantics(self, mode):
+        # swap two registers in one conclusion: only correct if all RHS
+        # are read before any write is applied
+        e = RuleEngine("""
+        VARIABLE a IN 0 TO 7 INIT 1
+        VARIABLE b IN 0 TO 7 INIT 5
+        ON swap()
+          IF a /= b THEN a <- b, b <- a;
+        END swap;
+        """, mode=mode)
+        e.call("swap")
+        assert e.registers.read("a") == 5
+        assert e.registers.read("b") == 1
+
+    def test_internal_event_cascade(self, mode):
+        e = RuleEngine("""
+        VARIABLE n IN 0 TO 10
+        ON start()
+          IF n = 0 THEN n <- 1, !step();
+        END start;
+        ON step()
+          IF n < 3 THEN n <- n + 1, !step();
+        END step;
+        """, mode=mode)
+        e.post("start")
+        e.run()
+        assert e.registers.read("n") == 3
+        # start + step(1->2) + step(2->3) + final step (no rule fires)
+        assert e.steps == 4
+
+    def test_livelock_guard(self, mode):
+        e = RuleEngine("""
+        VARIABLE n IN 0 TO 1
+        ON loop()
+          IF n = 0 THEN !loop();
+        END loop;
+        """, mode=mode)
+        e.events.max_cascade = 50
+        e.post("loop")
+        with pytest.raises(EvalError):
+            e.run()
+
+    def test_witness_used_in_conclusion(self, mode):
+        e = RuleEngine("""
+        CONSTANT dirs = 4
+        INPUT busy(0 TO 3) IN bool
+        ON pick() RETURNS 0 TO 3
+          IF EXISTS i IN dirs: busy(i) = false THEN RETURN(i);
+        END pick;
+        """, mode=mode)
+        e.set_inputs({"busy": {(0,): "true", (1,): "true",
+                               (2,): "false", (3,): "false"}})
+        # lowest free index wins in both engines
+        assert e.decide("pick") == 2
+
+    def test_subbase_in_expression(self, mode):
+        e = RuleEngine("""
+        SUBBASE clamp(x IN 0 TO 15) RETURNS 0 TO 7
+          IF x <= 7 THEN RETURN(x);
+          IF x > 7 THEN RETURN(7);
+        END clamp;
+        INPUT raw IN 0 TO 15
+        VARIABLE v IN 0 TO 7
+        ON take()
+          IF raw >= 0 THEN v <- clamp(raw);
+        END take;
+        """, mode=mode)
+        e.set_inputs({"raw": 12})
+        e.call("take")
+        assert e.registers.read("v") == 7
+
+    def test_function_registration(self, mode):
+        e = RuleEngine("""
+        FUNCTION plus2(0 TO 5) IN 0 TO 7 FCFB "adder"
+        INPUT x IN 0 TO 5
+        VARIABLE v IN 0 TO 7
+        ON go()
+          IF x >= 0 THEN v <- plus2(x);
+        END go;
+        """, mode=mode, functions={"plus2": lambda x: x + 2})
+        e.set_inputs({"x": 3})
+        e.call("go")
+        assert e.registers.read("v") == 5
+
+    def test_unregistered_function_raises(self, mode):
+        e = RuleEngine("""
+        FUNCTION f(0 TO 5) IN 0 TO 7
+        INPUT x IN 0 TO 5
+        VARIABLE v IN 0 TO 7
+        ON go()
+          IF f(x) = 3 THEN v <- 1;
+        END go;
+        """, mode=mode)
+        e.set_inputs({"x": 1})
+        with pytest.raises(EvalError):
+            e.call("go")
+
+
+class TestTiming:
+    def test_step_latency_formula(self):
+        d = DelayModel(wiring_ns=0.5, fcfb_ns=2.0, ram_access_ns=5.0,
+                       cycle_ns=10.0)
+        assert d.step_ns() == pytest.approx(0.5 + 4.0 + 5.0)
+        assert d.step_cycles() == 1
+
+    def test_slow_clock_needs_more_cycles(self):
+        d = DelayModel(wiring_ns=1.0, fcfb_ns=4.0, ram_access_ns=8.0,
+                       cycle_ns=5.0)
+        assert d.step_ns() == pytest.approx(17.0)
+        assert d.step_cycles() == 4
+
+    def test_decision_cycles_scale_with_steps(self):
+        d = DelayModel()
+        assert d.decision_cycles(3) == 3 * d.step_cycles()
+
+    def test_pipeline_stage_is_the_slowest(self):
+        d = DelayModel(wiring_ns=0.5, fcfb_ns=2.0, ram_access_ns=5.0)
+        assert d.pipeline_stage_ns() == 5.0  # the RAM access dominates
+
+    def test_pipelined_throughput_beats_sequential(self):
+        d = DelayModel()
+        sequential_per_us = 1000.0 / d.step_ns()
+        assert d.pipelined_throughput_per_us() > sequential_per_us
+
+    def test_pipelined_latency_at_least_unpipelined(self):
+        d = DelayModel()
+        assert d.pipelined_latency_ns() >= d.step_ns()

@@ -1,0 +1,102 @@
+"""Unit tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.core.dsl import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_gives_only_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "EOF"
+
+    def test_keywords_are_case_insensitive(self):
+        assert kinds("IF if If") == [("KW", "IF")] * 3
+
+    def test_identifiers_keep_case(self):
+        assert kinds("xpos Xdes number_unsafe") == [
+            ("IDENT", "xpos"), ("IDENT", "Xdes"), ("IDENT", "number_unsafe")]
+
+    def test_numbers(self):
+        assert kinds("0 42 1024") == [("NUM", "0"), ("NUM", "42"), ("NUM", "1024")]
+
+    def test_identifier_with_digits(self):
+        assert kinds("route_c2") == [("IDENT", "route_c2")]
+
+    def test_arrow_is_one_token(self):
+        assert kinds("x<-1") == [("IDENT", "x"), ("OP", "<-"), ("NUM", "1")]
+
+    def test_relational_operators(self):
+        assert [t for _, t in kinds("< <= > >= = /=")] == \
+            ["<", "<=", ">", ">=", "=", "/="]
+
+    def test_maximal_munch_prefers_le_over_lt(self):
+        assert kinds("a<=b") == [("IDENT", "a"), ("OP", "<="), ("IDENT", "b")]
+
+    def test_bang_for_event_generation(self):
+        assert kinds("!send(i)")[0] == ("OP", "!")
+
+    def test_braces_commas_semicolons(self):
+        assert [t for _, t in kinds("{a, b};")] == ["{", "a", ",", "b", "}", ";"]
+
+
+class TestCommentsAndLayout:
+    def test_comment_to_end_of_line(self):
+        assert kinds("a -- this is a comment\nb") == [
+            ("IDENT", "a"), ("IDENT", "b")]
+
+    def test_comment_only_line(self):
+        assert kinds("-- nothing here\n") == []
+
+    def test_single_minus_is_operator_not_comment(self):
+        assert kinds("a - b") == [("IDENT", "a"), ("OP", "-"), ("IDENT", "b")]
+
+    def test_line_numbers_advance(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+    def test_column_numbers(self):
+        toks = tokenize("ab cd")
+        assert toks[0].col == 1
+        assert toks[1].col == 4
+
+    def test_string_literal(self):
+        toks = tokenize('FCFB "minimum selection"')
+        assert toks[1].kind == "STRING"
+        assert toks[1].text == "minimum selection"
+
+
+class TestLexErrors:
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('FCFB "oops')
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("ab\ncd @")
+        assert exc.value.line == 2
+
+
+class TestPaperExcerptTokens:
+    def test_figure4_style_line_tokenizes(self):
+        src = ("IF new_state(dir) IN {faulty,lfault} AND number_faulty=0\n"
+               "THEN neighb_state(dir)<-new_state(dir),\n"
+               "     number_faulty<-number_faulty+1;")
+        toks = tokenize(src)
+        texts = [t.text for t in toks if t.kind == "KW"]
+        assert texts == ["IF", "IN", "AND", "THEN"]
+
+    def test_quantifier_tokens(self):
+        src = "FORALL i IN dirs: !send_newmessage(i,ounsafe)"
+        toks = tokenize(src)
+        assert toks[0].text == "FORALL"
+        assert any(t.text == "!" for t in toks)

@@ -1,0 +1,221 @@
+"""Unit tests for the DSL parser."""
+
+import pytest
+
+from repro.core.dsl import ParseError, parse
+from repro.core.dsl import nodes as N
+
+ROUTE_C_EXCERPT = """
+-- excerpt of ROUTE_C state update, paper Figure 4
+CONSTANT fault_states = {safe, faulty, ounsafe, sunsafe, lfault}
+CONSTANT dirs = 4
+VARIABLE number_unsafe IN 0 TO dirs
+VARIABLE number_faulty IN 0 TO dirs
+VARIABLE state IN fault_states
+VARIABLE neighb_state(0 TO dirs - 1) IN fault_states
+INPUT new_state(0 TO dirs - 1) IN fault_states
+EVENT send_newmessage(0 TO dirs - 1, fault_states)
+
+ON update_state(dir IN 0 TO dirs - 1)
+  IF new_state(dir) IN {faulty, lfault} AND number_faulty = 0
+  THEN neighb_state(dir) <- new_state(dir),
+       number_faulty <- number_faulty + 1,
+       number_unsafe <- number_unsafe + 1;
+  IF new_state(dir) IN {sunsafe, ounsafe} AND state = safe AND number_unsafe = 2
+  THEN state <- ounsafe,
+       number_unsafe <- number_unsafe + 1,
+       FORALL i IN dirs: !send_newmessage(i, ounsafe),
+       neighb_state(dir) <- new_state(dir);
+END update_state;
+"""
+
+
+class TestDeclarations:
+    def test_constant_enum(self):
+        prog = parse("CONSTANT states = {safe, faulty}")
+        decl = prog.decls[0]
+        assert isinstance(decl, N.ConstDecl)
+        assert isinstance(decl.value, N.EnumType)
+        assert decl.value.symbols == ("safe", "faulty")
+
+    def test_constant_number(self):
+        prog = parse("CONSTANT dirs = 4")
+        assert isinstance(prog.decls[0].value, N.Num)
+
+    def test_constant_expression(self):
+        prog = parse("CONSTANT n = 2 * 8 + 1")
+        assert isinstance(prog.decls[0].value, N.BinOp)
+
+    def test_scalar_variable(self):
+        prog = parse("VARIABLE x IN 0 TO 7")
+        decl = prog.decls[0]
+        assert isinstance(decl, N.VarDecl)
+        assert decl.indices == ()
+        assert isinstance(decl.type, N.RangeType)
+
+    def test_array_variable(self):
+        prog = parse("VARIABLE q(0 TO 3, 0 TO 1) IN 0 TO 255")
+        decl = prog.decls[0]
+        assert len(decl.indices) == 2
+
+    def test_variable_with_init(self):
+        prog = parse("VARIABLE x IN 0 TO 7 INIT 3")
+        assert isinstance(prog.decls[0].init, N.Num)
+
+    def test_input_declaration(self):
+        prog = parse("INPUT outchan(0 TO 3) IN {free, busy}")
+        decl = prog.decls[0]
+        assert isinstance(decl, N.InputDecl)
+
+    def test_function_with_fcfb(self):
+        prog = parse('FUNCTION minimal(0 TO 15, 0 TO 15) IN SET OF 0 TO 3 '
+                     'FCFB "mesh distance computation"')
+        decl = prog.decls[0]
+        assert isinstance(decl, N.FunctionDecl)
+        assert decl.fcfb == "mesh distance computation"
+        assert isinstance(decl.type, N.SetOfType)
+
+    def test_event_declaration(self):
+        prog = parse("EVENT send(0 TO 3, {safe, faulty})")
+        decl = prog.decls[0]
+        assert isinstance(decl, N.EventDecl)
+        assert len(decl.arg_types) == 2
+
+    def test_set_of_named_type(self):
+        prog = parse("CONSTANT st = {a, b}\nVARIABLE s IN SET OF st")
+        decl = prog.decls[1]
+        assert isinstance(decl.type, N.SetOfType)
+        assert isinstance(decl.type.base, N.NamedType)
+
+    def test_union_type(self):
+        prog = parse("VARIABLE v IN 0 TO 3 UNION {none}")
+        assert isinstance(prog.decls[0].type, N.UnionType)
+
+
+class TestRules:
+    def test_simple_return_rule(self):
+        prog = parse("""
+        INPUT xpos IN 0 TO 3
+        INPUT xdes IN 0 TO 3
+        ON decide() RETURNS {east, west}
+          IF xpos < xdes THEN RETURN(east);
+          IF xpos > xdes THEN RETURN(west);
+        END decide;
+        """)
+        rb = prog.rulebases[0]
+        assert rb.name == "decide"
+        assert len(rb.rules) == 2
+        assert isinstance(rb.rules[0].premise, N.Compare)
+        assert isinstance(rb.rules[0].conclusion[0], N.Return)
+
+    def test_route_c_excerpt_parses(self):
+        prog = parse(ROUTE_C_EXCERPT)
+        rb = prog.rulebases[0]
+        assert rb.name == "update_state"
+        assert len(rb.rules) == 2
+        second = rb.rules[1]
+        kinds = [type(c).__name__ for c in second.conclusion]
+        assert kinds == ["Assign", "Assign", "ForallCmd", "Assign"]
+
+    def test_forall_command_single_body(self):
+        prog = parse(ROUTE_C_EXCERPT)
+        fc = prog.rulebases[0].rules[1].conclusion[2]
+        assert isinstance(fc, N.ForallCmd)
+        assert fc.var == "i"
+        assert len(fc.body) == 1
+        assert isinstance(fc.body[0], N.Emit)
+
+    def test_forall_command_grouped_body(self):
+        prog = parse("""
+        CONSTANT dirs = 4
+        VARIABLE a(0 TO 3) IN 0 TO 1
+        EVENT ping(0 TO 3)
+        ON go()
+          IF 1 = 1 THEN FORALL i IN dirs: (a(i) <- 1, !ping(i));
+        END go;
+        """)
+        fc = prog.rulebases[0].rules[0].conclusion[0]
+        assert isinstance(fc, N.ForallCmd)
+        assert len(fc.body) == 2
+
+    def test_quantified_premise_swallows_and_chain(self):
+        # paper's NARA rule: the EXISTS body extends across AND
+        prog = parse("""
+        CONSTANT dirs = 4
+        INPUT outchan(0 TO 3) IN {free, busy}
+        ON pick() RETURNS 0 TO 3
+          IF EXISTS i IN dirs: outchan(i) = free AND i > 0
+          THEN RETURN(1);
+        END pick;
+        """)
+        prem = prog.rulebases[0].rules[0].premise
+        assert isinstance(prem, N.Quant)
+        assert isinstance(prem.body, N.And)
+
+    def test_nested_quantifiers(self):
+        prog = parse("""
+        CONSTANT dirs = 4
+        INPUT q(0 TO 3) IN 0 TO 15
+        ON pick() RETURNS 0 TO 3
+          IF EXISTS i IN dirs: (FORALL j IN dirs: q(i) <= q(j))
+          THEN RETURN(0);
+        END pick;
+        """)
+        prem = prog.rulebases[0].rules[0].premise
+        assert prem.kind == "EXISTS"
+        assert isinstance(prem.body, N.Quant)
+        assert prem.body.kind == "FORALL"
+
+    def test_subbase(self):
+        prog = parse("""
+        SUBBASE double(x IN 0 TO 7) RETURNS 0 TO 14
+          IF x >= 0 THEN RETURN(x + x);
+        END double;
+        """)
+        assert prog.subbases[0].name == "double"
+        assert prog.subbases[0].returns is not None
+
+    def test_membership_of_set_literal(self):
+        prog = parse("""
+        CONSTANT st = {safe, bad}
+        VARIABLE s IN st
+        ON f()
+          IF s IN {bad} THEN s <- safe;
+        END f;
+        """)
+        prem = prog.rulebases[0].rules[0].premise
+        assert isinstance(prem, N.InSet)
+
+    def test_parenthesized_bool_in_expression_position(self):
+        prog = parse("""
+        VARIABLE x IN 0 TO 3
+        ON f()
+          IF (x = 1 OR x = 2) AND x < 3 THEN x <- 0;
+        END f;
+        """)
+        prem = prog.rulebases[0].rules[0].premise
+        assert isinstance(prem, N.And)
+        assert isinstance(prem.terms[0], N.Or)
+
+
+class TestParseErrors:
+    def test_end_name_mismatch(self):
+        with pytest.raises(ParseError):
+            parse("ON f() IF 1 = 1 THEN RETURN(1); END g;")
+
+    def test_missing_then(self):
+        with pytest.raises(ParseError):
+            parse("ON f() IF 1 = 1 RETURN(1); END f;")
+
+    def test_missing_semicolon_after_rule(self):
+        with pytest.raises(ParseError):
+            parse("VARIABLE x IN 0 TO 1\nON f() IF x = 1 THEN x <- 0 END f;")
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(ParseError):
+            parse("HELLO world")
+
+    def test_error_has_line_number(self):
+        with pytest.raises(ParseError) as exc:
+            parse("CONSTANT a = 1\nON f( IF")
+        assert exc.value.line == 2

@@ -1,0 +1,195 @@
+"""Unit tests for DSL semantic analysis."""
+
+import pytest
+
+from repro.core.dsl import (BOOL, IntRange, SemanticError, SetDomain,
+                            SymbolDomain, analyze_source)
+
+from .test_parser import ROUTE_C_EXCERPT
+
+
+class TestConstantsAndTypes:
+    def test_integer_constant_folds(self):
+        a = analyze_source("CONSTANT n = 2 * 8 + 1")
+        assert a.constants["n"] == 17
+
+    def test_enum_constant_becomes_type(self):
+        a = analyze_source("CONSTANT st = {safe, faulty}")
+        assert isinstance(a.types["st"], SymbolDomain)
+        assert a.types["st"].symbols == ("safe", "faulty")
+
+    def test_symbols_register_owner(self):
+        a = analyze_source("CONSTANT st = {safe, faulty}")
+        assert a.symbol_owner["safe"] is a.types["st"]
+
+    def test_param_overrides_constant(self):
+        a = analyze_source("CONSTANT dirs = 4", params={"dirs": 8})
+        assert a.constants["dirs"] == 8
+
+    def test_param_without_declaration(self):
+        a = analyze_source("VARIABLE x IN 0 TO d - 1", params={"d": 4})
+        assert a.variables["x"].domain == IntRange(0, 3)
+
+    def test_constant_referencing_constant(self):
+        a = analyze_source("CONSTANT a = 3\nCONSTANT b = a * 2")
+        assert a.constants["b"] == 6
+
+    def test_symbol_collision_across_domains_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source("CONSTANT s1 = {x, y}\nCONSTANT s2 = {y, z}")
+
+    def test_identical_enum_reused(self):
+        a = analyze_source(
+            "CONSTANT s1 = {x, y}\nVARIABLE v IN {x, y}")
+        assert a.variables["v"].domain.symbols == ("x", "y")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source("CONSTANT a = 1\nVARIABLE a IN 0 TO 3")
+
+    def test_bool_is_predeclared(self):
+        a = analyze_source("VARIABLE flag IN bool")
+        assert a.variables["flag"].domain is BOOL
+
+
+class TestVariables:
+    def test_scalar_register_bits(self):
+        a = analyze_source("VARIABLE x IN 0 TO 7")
+        assert a.variables["x"].total_bits == 3
+
+    def test_array_register_bits(self):
+        # 4 cells x 3 bits (range 0..4 needs 3 bits)
+        a = analyze_source("VARIABLE q(0 TO 3) IN 0 TO 4")
+        assert a.variables["q"].n_cells == 4
+        assert a.variables["q"].total_bits == 12
+
+    def test_set_variable_bits(self):
+        a = analyze_source("VARIABLE s IN SET OF 0 TO 3")
+        assert a.variables["s"].total_bits == 4
+
+    def test_init_checked_against_domain(self):
+        with pytest.raises(SemanticError):
+            analyze_source("VARIABLE x IN 0 TO 3 INIT 9")
+
+    def test_init_default_is_domain_default(self):
+        a = analyze_source("CONSTANT st = {safe, faulty}\nVARIABLE s IN st")
+        assert a.variables["s"].init == "safe"
+
+    def test_program_register_bits_sum(self):
+        a = analyze_source("VARIABLE x IN 0 TO 7\nVARIABLE y IN 0 TO 1")
+        assert a.register_bits() == 4
+
+
+class TestRuleChecking:
+    def test_route_c_excerpt_analyzes(self):
+        a = analyze_source(ROUTE_C_EXCERPT)
+        rb = a.rulebases["update_state"]
+        assert rb.params[0][0] == "dir"
+        assert rb.params[0][1] == IntRange(0, 3)
+        assert len(rb.rules) == 2
+
+    def test_unknown_variable_in_premise(self):
+        with pytest.raises(SemanticError):
+            analyze_source("ON f() IF nosuch = 1 THEN RETURN(0); END f;")
+
+    def test_return_without_returns_type(self):
+        with pytest.raises(SemanticError):
+            analyze_source("VARIABLE x IN 0 TO 1\n"
+                           "ON f() IF x = 0 THEN RETURN(1); END f;")
+
+    def test_return_value_domain_mismatch(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "CONSTANT st = {a, b}\nVARIABLE x IN 0 TO 1\n"
+                "ON f() RETURNS st IF x = 0 THEN RETURN(5); END f;")
+
+    def test_symbol_int_comparison_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "CONSTANT st = {a, b}\nVARIABLE s IN st\n"
+                "ON f() IF s < 2 THEN s <- a; END f;")
+
+    def test_assignment_to_input_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "INPUT load IN 0 TO 3\n"
+                "ON f() IF load = 0 THEN load <- 1; END f;")
+
+    def test_event_arity_checked(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "EVENT ping(0 TO 3)\nVARIABLE x IN 0 TO 3\n"
+                "ON f() IF x = 0 THEN !ping(); END f;")
+
+    def test_array_needs_indices(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "VARIABLE q(0 TO 3) IN 0 TO 1\n"
+                "ON f() IF q = 0 THEN q <- 1; END f;")
+
+    def test_nonboolean_premise_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "VARIABLE x IN 0 TO 3\nON f() IF x + 1 THEN x <- 0; END f;")
+
+    def test_function_use(self):
+        a = analyze_source("""
+        FUNCTION minimal(0 TO 15, 0 TO 15) IN SET OF 0 TO 3 FCFB "mesh distance computation"
+        INPUT dx IN 0 TO 15
+        INPUT dy IN 0 TO 15
+        ON pick() RETURNS 0 TO 3
+          IF EXISTS i IN minimal(dx, dy): i >= 0 THEN RETURN(0);
+        END pick;
+        """)
+        assert a.functions["minimal"].fcfb == "mesh distance computation"
+
+    def test_subbase_return_used_in_expression(self):
+        a = analyze_source("""
+        SUBBASE inc(x IN 0 TO 6) RETURNS 0 TO 7
+          IF x >= 0 THEN RETURN(x + 1);
+        END inc;
+        VARIABLE v IN 0 TO 7
+        ON f()
+          IF inc(3) = 4 THEN v <- inc(v - 1);
+        END f;
+        """)
+        assert "inc" in a.subbases
+
+    def test_quantifier_over_named_constant(self):
+        a = analyze_source("""
+        CONSTANT dirs = 4
+        INPUT busy(0 TO 3) IN bool
+        ON f() RETURNS bool
+          IF FORALL i IN dirs: busy(i) = true THEN RETURN(true);
+        END f;
+        """)
+        assert "f" in a.rulebases
+
+    def test_quantifier_over_type(self):
+        a = analyze_source("""
+        CONSTANT st = {a, b, c}
+        VARIABLE cur IN st
+        ON f() RETURNS bool
+          IF EXISTS s IN st: cur = s THEN RETURN(true);
+        END f;
+        """)
+        assert "f" in a.rulebases
+
+    def test_forall_command_checked(self):
+        a = analyze_source(ROUTE_C_EXCERPT)
+        # the FORALL command in rule 2 emits send_newmessage(i, ounsafe)
+        assert "send_newmessage" in a.events
+
+    def test_interval_arithmetic_plus(self):
+        # number + 1 stays int-typed and assignable to a wider register
+        a = analyze_source(
+            "VARIABLE x IN 0 TO 3\nVARIABLE y IN 0 TO 7\n"
+            "ON f() IF x < 3 THEN y <- x + 1; END f;")
+        assert "f" in a.rulebases
+
+    def test_disjoint_symbol_comparison_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_source(
+                "CONSTANT s1 = {a, b}\nCONSTANT s2 = {c, d}\n"
+                "VARIABLE x IN s1\nVARIABLE y IN s2\n"
+                "ON f() IF x = y THEN x <- a; END f;")

@@ -1,0 +1,152 @@
+"""Tests for the semantics-preserving rule-base transformations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RuleEngine
+from repro.core.compiler import CompiledProgram, compile_program
+from repro.core.compiler.transform import (FALSE, TRUE, fold_premise,
+                                           fold_rules, merge_adjacent_rules,
+                                           optimize_base)
+from repro.core.dsl import analyze_source
+from repro.core.dsl import nodes as N
+
+
+def analyzed(src, params=None):
+    a = analyze_source(src, params)
+    return a.analyzer, a
+
+
+class TestFolding:
+    SRC = """
+    CONSTANT limit = 4
+    VARIABLE x IN 0 TO 7
+    ON go()
+      IF limit = 4 AND x < 3 THEN x <- x + 1;
+      IF limit = 5 AND x = 7 THEN x <- 0;
+      IF limit > 2 OR x = 6 THEN x <- 2;
+    END go;
+    """
+
+    def test_true_atom_disappears(self):
+        analyzer, a = analyzed(self.SRC)
+        base = fold_rules(analyzer, a.rulebases["go"])
+        # rule 1: "limit = 4" folds true, leaving only "x < 3"
+        assert isinstance(base.rules[0].premise, N.Compare)
+
+    def test_false_rule_removed(self):
+        analyzer, a = analyzed(self.SRC)
+        base = fold_rules(analyzer, a.rulebases["go"])
+        assert len(base.rules) == 2  # the limit=5 rule can never fire
+
+    def test_true_or_collapses(self):
+        analyzer, a = analyzed(self.SRC)
+        base = fold_rules(analyzer, a.rulebases["go"])
+        # rule 3's premise "limit > 2 OR ..." folds to TRUE
+        assert base.rules[-1].premise == TRUE
+
+    def test_double_negation(self):
+        analyzer, a = analyzed("VARIABLE x IN 0 TO 3\n"
+                               "ON f() IF NOT (NOT x = 1) THEN x <- 0; END f;")
+        prem = fold_premise(analyzer, a.rulebases["f"].rules[0].premise)
+        assert isinstance(prem, N.Compare)
+
+
+class TestMerging:
+    def test_adjacent_same_conclusion_merged(self):
+        _, a = analyzed("""
+        VARIABLE x IN 0 TO 7
+        ON f()
+          IF x = 1 THEN x <- 0;
+          IF x = 2 THEN x <- 0;
+          IF x = 3 THEN x <- 5;
+        END f;
+        """)
+        base = merge_adjacent_rules(a.rulebases["f"])
+        assert len(base.rules) == 2
+        assert isinstance(base.rules[0].premise, N.Or)
+
+    def test_non_adjacent_not_merged(self):
+        """Merging across an intervening rule would change priority."""
+        _, a = analyzed("""
+        VARIABLE x IN 0 TO 7
+        ON f()
+          IF x < 4 THEN x <- 0;
+          IF x = 2 THEN x <- 7;
+          IF x < 6 THEN x <- 0;
+        END f;
+        """)
+        base = merge_adjacent_rules(a.rulebases["f"])
+        assert len(base.rules) == 3
+
+
+class TestOptimizeEquivalence:
+    SRC = """
+    CONSTANT mode = 1
+    VARIABLE x IN 0 TO 7
+    VARIABLE y IN 0 TO 7
+    ON go()
+      IF mode = 0 AND x = 0 THEN y <- 7;
+      IF mode = 1 AND x < 2 THEN y <- 1;
+      IF x = 2 THEN y <- 1;
+      IF x = 3 THEN y <- 1;
+      IF x > 5 AND x > 4 THEN y <- x - 1;
+    END go;
+    """
+
+    def _optimized_pair(self):
+        analyzer, a = analyzed(self.SRC)
+        base = a.rulebases["go"]
+        after, report = optimize_base(analyzer, base)
+        return analyzer, a, base, after, report
+
+    def test_report_counts(self):
+        _, _, base, after, report = self._optimized_pair()
+        assert report.rules_before == 5
+        assert report.rules_after < 5
+        assert report.steps
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_behaviour_unchanged(self, x, y):
+        analyzer, a, base, after, report = self._optimized_pair()
+        from repro.core.compiler.compile import CompiledProgram
+        original = compile_program(self.SRC)
+        optimized = CompiledProgram(analyzed=a,
+                                    rulebases={"go": after}, subbases={})
+        eng_a = RuleEngine(original)
+        eng_b = RuleEngine(optimized)
+        for eng in (eng_a, eng_b):
+            eng.registers.write("x", x)
+            eng.registers.write("y", y)
+        ra = eng_a.call("go")
+        rb = eng_b.call("go")
+        assert ra.writes == rb.writes
+        assert eng_a.registers.snapshot() == eng_b.registers.snapshot()
+
+    def test_table_never_grows(self):
+        _, _, _, _, report = self._optimized_pair()
+        assert report.size_bits_after <= report.size_bits_before
+
+
+class TestDeadRuleElimination:
+    def test_shadowed_rule_removed(self):
+        analyzer, a = analyzed("""
+        VARIABLE x IN 0 TO 3
+        VARIABLE y IN 0 TO 3
+        ON f()
+          IF x < 4 THEN y <- 1;
+          IF x = 2 THEN y <- 3;
+        END f;
+        """)
+        after, report = optimize_base(analyzer, a.rulebases["f"])
+        # rule 2 is fully shadowed by rule 1 (x<4 is always true)
+        assert report.rules_after == 1
+
+    def test_optimizing_shipped_rulesets_is_safe(self):
+        from repro.routing.rulesets import compile_ruleset, ruleset_source
+        src = ruleset_source("route_c")
+        a = analyze_source(src, {"d": 4, "a": 2})
+        for name, base in a.rulebases.items():
+            after, report = optimize_base(a.analyzer, base)
+            assert report.size_bits_after <= report.size_bits_before, name

@@ -1,0 +1,92 @@
+"""End-to-end tests for UNION domains (paper: "the union of these two")
+and SET-typed registers flowing through compile + both interpreters."""
+
+import pytest
+
+from repro.core import RuleEngine
+
+UNION_SRC = """
+-- a register that is either a direction index or the symbol 'none'
+CONSTANT dirs = 4
+VARIABLE last_dir IN 0 TO 3 UNION {none} INIT none
+VARIABLE count IN 0 TO 7
+ON took(d IN 0 TO 3)
+  IF last_dir = none THEN last_dir <- d, count <- 1;
+  IF NOT last_dir = none AND last_dir = d THEN count <- count + 1;
+  IF NOT last_dir = none AND NOT last_dir = d THEN last_dir <- d, count <- 1;
+END took;
+"""
+
+
+@pytest.fixture(params=["table", "ast"])
+def mode(request):
+    return request.param
+
+
+class TestUnionDomains:
+    def test_initial_symbol_value(self, mode):
+        eng = RuleEngine(UNION_SRC, mode=mode)
+        assert eng.registers.read("last_dir") == "none"
+
+    def test_symbol_to_int_transition(self, mode):
+        eng = RuleEngine(UNION_SRC, mode=mode)
+        eng.call("took", 2)
+        assert eng.registers.read("last_dir") == 2
+        assert eng.registers.read("count") == 1
+
+    def test_repeat_counting(self, mode):
+        eng = RuleEngine(UNION_SRC, mode=mode)
+        for _ in range(3):
+            eng.call("took", 1)
+        assert eng.registers.read("count") == 3
+        eng.call("took", 3)
+        assert eng.registers.read("last_dir") == 3
+        assert eng.registers.read("count") == 1
+
+    def test_union_register_width(self):
+        eng = RuleEngine(UNION_SRC)
+        var = eng.analyzed.variables["last_dir"]
+        assert var.domain.size == 5
+        assert var.total_bits == 3
+
+    def test_table_ast_equivalent_over_sequences(self):
+        table = RuleEngine(UNION_SRC, mode="table")
+        ast = RuleEngine(UNION_SRC, mode="ast")
+        import itertools
+        for seq in itertools.product(range(4), repeat=3):
+            for eng in (table, ast):
+                eng.reset_state()
+                for d in seq:
+                    eng.call("took", d)
+            assert table.registers.snapshot() == ast.registers.snapshot(), seq
+
+
+SET_SRC = """
+CONSTANT dirs = 4
+VARIABLE seen IN SET OF 0 TO 3
+VARIABLE done IN bool
+ON mark(d IN 0 TO 3)
+  IF NOT d IN seen AND NOT seen UNION {d} = {0, 1, 2, 3}
+  THEN seen <- seen UNION {d};
+  IF NOT d IN seen AND seen UNION {d} = {0, 1, 2, 3}
+  THEN seen <- seen UNION {d}, done <- true;
+END mark;
+"""
+
+
+class TestSetRegisters:
+    def test_accumulation_and_completion(self, mode):
+        eng = RuleEngine(SET_SRC, mode=mode)
+        for d in (2, 0, 3):
+            eng.call("mark", d)
+        assert eng.registers.read("seen") == frozenset({0, 2, 3})
+        assert eng.registers.read("done") == "false"
+        eng.call("mark", 1)
+        assert eng.registers.read("seen") == frozenset({0, 1, 2, 3})
+        assert eng.registers.read("done") == "true"
+
+    def test_duplicate_marks_ignored(self, mode):
+        eng = RuleEngine(SET_SRC, mode=mode)
+        eng.call("mark", 2)
+        res = eng.call("mark", 2)
+        assert res.fired_source_rule is None

@@ -1,0 +1,117 @@
+"""Tests for the table-vs-semantics verification utility."""
+
+import pytest
+
+from repro.core.compiler import (compile_program, collect_axes,
+                                 verify_equivalence)
+from repro.routing.rulesets import RULESETS, compile_ruleset
+
+SMALL = """
+CONSTANT st = {idle, work, done}
+VARIABLE mode IN st
+VARIABLE count IN 0 TO 3
+INPUT go IN bool
+ON tick()
+  IF mode = idle AND go = true THEN mode <- work;
+  IF mode = work AND count < 3 THEN count <- count + 1;
+  IF mode = work AND count = 3 THEN mode <- done;
+  IF mode = done THEN mode <- idle, count <- 0;
+END tick;
+"""
+
+
+class TestAxes:
+    def test_axes_cover_registers_and_inputs(self):
+        cp = compile_program(SMALL)
+        axes = collect_axes(cp, cp.rulebases["tick"])
+        kinds = {(a.kind, a.name) for a in axes}
+        assert kinds == {("register", "mode"), ("register", "count"),
+                         ("input", "go")}
+
+    def test_array_registers_expand_to_cells(self):
+        cp = compile_program("""
+        VARIABLE arr(0 TO 2) IN 0 TO 1
+        ON f(i IN 0 TO 2)
+          IF arr(i) = 0 THEN arr(i) <- 1;
+        END f;
+        """)
+        axes = collect_axes(cp, cp.rulebases["f"])
+        cells = [a for a in axes if a.kind == "register"]
+        assert len(cells) == 3
+
+    def test_params_are_axes(self):
+        cp = compile_program("""
+        VARIABLE x IN 0 TO 1
+        ON f(a IN 0 TO 4)
+          IF a = 2 THEN x <- 1;
+        END f;
+        """)
+        axes = collect_axes(cp, cp.rulebases["f"])
+        assert any(a.kind == "param" for a in axes)
+
+
+class TestVerification:
+    def test_small_base_exhaustive_ok(self):
+        cp = compile_program(SMALL)
+        rep = verify_equivalence(cp, "tick")
+        assert rep.exhaustive
+        assert rep.space_size == 3 * 4 * 2
+        assert rep.checked == rep.space_size
+        assert rep.ok
+
+    def test_large_space_sampled(self):
+        cp = compile_program("""
+        VARIABLE a IN 0 TO 255
+        VARIABLE b IN 0 TO 255
+        VARIABLE c IN 0 TO 255
+        ON f()
+          IF a < b AND b < c THEN a <- c;
+          IF a >= b THEN b <- a;
+        END f;
+        """)
+        rep = verify_equivalence(cp, "f", max_exhaustive=1000, samples=300)
+        assert not rep.exhaustive
+        assert rep.checked == 300
+        assert rep.ok
+
+    def test_sampling_deterministic(self):
+        cp = compile_program("""
+        VARIABLE a IN 0 TO 255
+        VARIABLE b IN 0 TO 255
+        VARIABLE c IN 0 TO 255
+        ON f()
+          IF a < b AND b < c THEN a <- c;
+        END f;
+        """)
+        r1 = verify_equivalence(cp, "f", max_exhaustive=10, samples=50,
+                                seed=7)
+        r2 = verify_equivalence(cp, "f", max_exhaustive=10, samples=50,
+                                seed=7)
+        assert r1.checked == r2.checked == 50
+        assert r1.ok and r2.ok
+
+    @pytest.mark.parametrize("base", ["decide_dir", "decide_vc",
+                                      "update_state", "adaptivity"])
+    def test_route_c_ruleset_verifies(self, base):
+        cp = compile_ruleset("route_c", {"d": 3, "a": 2})
+        rep = verify_equivalence(cp, base,
+                                 functions=RULESETS["route_c"].functions,
+                                 samples=400)
+        assert rep.ok, rep.mismatches[:1]
+
+    @pytest.mark.parametrize("base", ["test_exception", "update_dir_table",
+                                      "fault_occured",
+                                      "consider_neighbor_state",
+                                      "flit_finished", "message_finished"])
+    def test_nafta_ruleset_verifies(self, base):
+        cp = compile_ruleset("nafta")
+        rep = verify_equivalence(cp, base,
+                                 functions=RULESETS["nafta"].functions,
+                                 samples=300, seed=3)
+        assert rep.ok, rep.mismatches[:1]
+
+    def test_summary_text(self):
+        cp = compile_program(SMALL)
+        rep = verify_equivalence(cp, "tick")
+        assert "OK" in rep.summary()
+        assert "exhaustively" in rep.summary()

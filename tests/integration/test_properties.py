@@ -1,0 +1,121 @@
+"""Randomized end-to-end properties of the whole stack (hypothesis).
+
+Invariants, for arbitrary small meshes/cubes, fault patterns and
+traffic: no deadlock, no buffer overflow, flit conservation, every
+accepted message either delivered at its destination or accounted as
+stuck, and path lengths bounded by the livelock guard.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.routing import NaftaRouting, RouteCRouting
+from repro.sim import (FaultSchedule, Hypercube, Mesh2D, Network, SimConfig,
+                       TrafficGenerator, random_link_faults)
+
+
+def run_mesh_case(width, height, n_faults, load, seed, buffer_depth):
+    topo = Mesh2D(width, height)
+    rng = np.random.default_rng(seed)
+    links = []
+    if n_faults:
+        try:
+            links = random_link_faults(topo, n_faults, rng, max_tries=400)
+        except RuntimeError:
+            links = []
+    net = Network(topo, NaftaRouting(),
+                  config=SimConfig(buffer_depth=buffer_depth))
+    if links:
+        net.schedule_faults(FaultSchedule.static(links=links))
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=load,
+                                        message_length=3, seed=seed + 1))
+    net.run(400)
+    net.traffic = None
+    net.run_until_drained(max_cycles=100_000)
+    return net
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(width=st.integers(3, 6), height=st.integers(3, 6),
+       n_faults=st.integers(0, 4), load=st.sampled_from([0.05, 0.15, 0.3]),
+       seed=st.integers(0, 10_000), buffer_depth=st.integers(1, 4))
+def test_mesh_invariants(width, height, n_faults, load, seed, buffer_depth):
+    net = run_mesh_case(width, height, n_faults, load, seed, buffer_depth)
+    # drained: nothing left anywhere
+    assert net.in_flight() == 0
+    # accounting closes: every accepted message delivered or stuck
+    accepted = len(net.messages)
+    delivered = net.stats.messages_delivered
+    stuck = net.stats.messages_stuck
+    assert delivered + stuck == accepted
+    # flit conservation: delivered flits == flits of delivered messages
+    delivered_flits = sum(m.header.length for m in net.messages.values()
+                          if m.delivered is not None)
+    assert net.stats.flits_delivered == delivered_flits
+    # livelock guard bounds every completed path
+    limit = NaftaRouting().livelock_factor * (width + height) + 16 + 2
+    for m in net.messages.values():
+        assert m.hops <= limit
+    # fault-free runs never strand anything
+    if n_faults == 0:
+        assert stuck == 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(dim=st.integers(2, 4), n_faults=st.integers(0, 2),
+       seed=st.integers(0, 10_000))
+def test_cube_invariants(dim, n_faults, seed):
+    topo = Hypercube(dim)
+    rng = np.random.default_rng(seed)
+    nodes = []
+    while len(nodes) < min(n_faults, topo.n_nodes - 2):
+        cand = int(rng.integers(0, topo.n_nodes))
+        if cand not in nodes:
+            nodes.append(cand)
+    net = Network(topo, RouteCRouting())
+    if nodes:
+        net.schedule_faults(FaultSchedule.static(nodes=nodes))
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.1,
+                                        message_length=3, seed=seed + 1))
+    net.run(300)
+    net.traffic = None
+    net.run_until_drained(max_cycles=100_000)
+    assert net.in_flight() == 0
+    assert (net.stats.messages_delivered + net.stats.messages_stuck
+            == len(net.messages))
+    # ROUTE_C's channel classes never exceed the 4 detour VCs
+    for m in net.messages.values():
+        assert int(m.header.fields.get("vc_class", 0)) <= 4
+    # every decision costs exactly two interpretation steps
+    if net.stats.decisions:
+        assert net.stats.mean_decision_steps == 2.0
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_harsh_dynamic_faults_never_wedge(seed):
+    """Dynamic faults in 'harsh' mode rip up worms; the network must
+    keep flowing and account every message as delivered, dropped or
+    stuck."""
+    topo = Mesh2D(5, 5)
+    rng = np.random.default_rng(seed)
+    net = Network(topo, NaftaRouting(),
+                  config=SimConfig(fault_mode="harsh"))
+    links = random_link_faults(topo, 2, rng)
+    sched = FaultSchedule()
+    for i, (a, b) in enumerate(links):
+        sched.add_link_fault(150 + 40 * i, a, b)
+    net.fault_schedule = sched
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.15,
+                                        message_length=4, seed=seed + 2))
+    net.run(500)
+    net.traffic = None
+    net.run_until_drained(max_cycles=100_000)
+    assert net.in_flight() == 0
+    dropped = sum(1 for m in net.messages.values()
+                  if m.dropped and m.delivered is None)
+    delivered = net.stats.messages_delivered
+    assert delivered + dropped == len(net.messages)

@@ -1,0 +1,127 @@
+"""Integration: routers driven by the actual compiled rule machine
+(the full Figure-3 architecture), differentially checked against the
+native Python NAFTA."""
+
+import pytest
+
+from repro.routing import NaftaRouting, RuleDrivenNafta
+from repro.sim import (FaultSchedule, Mesh2D, Network, SimConfig,
+                       TrafficGenerator)
+
+
+def drained_net(algo, topo=None, fault_nodes=(), **cfg):
+    topo = topo or Mesh2D(5, 5)
+    net = Network(topo, algo, config=SimConfig(**cfg))
+    if fault_nodes:
+        net.schedule_faults(FaultSchedule.static(
+            nodes=[topo.node_at(*c) for c in fault_nodes]))
+    return net
+
+
+class TestRuleDrivenBasics:
+    def test_fault_free_delivery_minimal(self):
+        net = drained_net(RuleDrivenNafta())
+        m = net.offer(0, 24, 3)
+        net.run_until_drained()
+        assert m.delivered is not None
+        assert m.hops == net.topology.distance(0, 24) + 1
+        assert net.stats.max_decision_steps == 1
+
+    def test_detour_with_three_steps(self):
+        topo = Mesh2D(5, 5)
+        net = drained_net(RuleDrivenNafta(), topo, fault_nodes=[(2, 2)],
+                          trace_paths=True)
+        m = net.offer(topo.node_at(0, 2), topo.node_at(4, 2), 3)
+        net.run_until_drained()
+        assert m.delivered is not None
+        assert m.header.misrouted
+        assert net.stats.max_decision_steps == 3
+        trace = {topo.coords(n) for n in m.header.fields["trace"]}
+        assert (2, 2) not in trace
+
+    def test_engine_state_tracks_deactivation(self):
+        topo = Mesh2D(5, 5)
+        algo = RuleDrivenNafta()
+        net = drained_net(algo, topo, fault_nodes=[(1, 1), (2, 2)])
+        # the diagonal pair deactivates (1,2) and (2,1) in the engines
+        for coords in [(1, 2), (2, 1)]:
+            node = topo.node_at(*coords)
+            assert algo.engines[node].registers.read("mystate") == "deact"
+        # healthy far nodes stay safe
+        assert algo.engines[topo.node_at(4, 4)].registers.read(
+            "mystate") == "safe"
+
+    def test_engine_run_counters_match_native_map(self):
+        from repro.routing.mesh_state import MeshFaultMap
+        topo = Mesh2D(5, 5)
+        algo = RuleDrivenNafta()
+        net = drained_net(algo, topo, fault_nodes=[(2, 2)])
+        fmap = MeshFaultMap(topo, net.faults)
+        for node in topo.nodes():
+            if not net.faults.node_ok(node):
+                continue
+            for dir_ in range(4):
+                got = algo.engines[node].registers.read("runc", (dir_,))
+                want = min(fmap.clear_run(node, dir_), algo._rmax)
+                assert got == want, (topo.coords(node), dir_)
+
+    def test_usable_sets_reflect_borders_and_faults(self):
+        topo = Mesh2D(4, 4)
+        algo = RuleDrivenNafta()
+        net = drained_net(algo, topo, fault_nodes=[(1, 1)])
+        # corner (0,0): only east(0) and north(2) exist; (1,1) faulty
+        # does not remove them
+        usable = algo.engines[topo.node_at(0, 0)].registers.read("usable_set")
+        assert usable == frozenset({0, 2})
+        # (1,0): north neighbour (1,1) is faulty -> north unusable
+        usable = algo.engines[topo.node_at(1, 0)].registers.read("usable_set")
+        assert 2 not in usable
+        assert 0 in usable and 1 in usable
+
+    def test_refuses_deactivated_destinations(self):
+        topo = Mesh2D(5, 5)
+        net = drained_net(RuleDrivenNafta(), topo,
+                          fault_nodes=[(1, 1), (2, 2)])
+        assert net.offer(0, topo.node_at(1, 2), 3) is None
+
+
+class TestRuleDrivenDifferential:
+    def test_matches_native_nafta_fault_free(self):
+        pairs = [(s, d) for s in range(0, 25, 3) for d in (7, 18) if s != d]
+        results = {}
+        for algo in (NaftaRouting(), RuleDrivenNafta()):
+            net = drained_net(algo)
+            msgs = [net.offer(s, d, 3) for s, d in pairs]
+            net.run_until_drained()
+            results[algo.name] = [m.hops for m in msgs]
+        assert results["nafta"] == results["nafta_rules"]
+
+    def test_same_delivery_set_under_faults(self):
+        topo = Mesh2D(5, 5)
+        pairs = [(s, d) for s in range(25) for d in range(25)
+                 if s != d and (s * 25 + d) % 11 == 0]
+        delivered = {}
+        for algo_cls in (NaftaRouting, RuleDrivenNafta):
+            ok = set()
+            for s, d in pairs:
+                net = drained_net(algo_cls(), Mesh2D(5, 5),
+                                  fault_nodes=[(2, 2)])
+                m = net.offer(s, d, 2)
+                if m is None:
+                    continue
+                net.run_until_drained()
+                if m.delivered is not None:
+                    ok.add((s, d))
+            delivered[algo_cls.__name__] = ok
+        assert delivered["NaftaRouting"] == delivered["RuleDrivenNafta"]
+
+    def test_traffic_run_without_deadlock(self):
+        topo = Mesh2D(5, 5)
+        net = drained_net(RuleDrivenNafta(), topo, fault_nodes=[(2, 2)])
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.1,
+                                            message_length=3, seed=4))
+        net.run(600)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+        assert net.stats.mean_decision_steps > 1.0  # ft paths were used

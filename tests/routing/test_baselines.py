@@ -1,0 +1,100 @@
+"""Tests for the spanning-tree baseline and the algorithm registry."""
+
+import pytest
+
+from repro.routing import (ALGORITHMS, RoutingError, SpanningTreeRouting,
+                           make_algorithm)
+from repro.sim import (FaultSchedule, Hypercube, Mesh2D, Network, SimConfig,
+                       TrafficGenerator)
+
+
+class TestSpanningTree:
+    def test_delivers_on_mesh(self):
+        net = Network(Mesh2D(4, 4), SpanningTreeRouting())
+        m = net.offer(5, 10, 3)
+        net.run_until_drained()
+        assert m.delivered is not None
+
+    def test_delivers_on_hypercube(self):
+        net = Network(Hypercube(4), SpanningTreeRouting())
+        m = net.offer(3, 12, 3)
+        net.run_until_drained()
+        assert m.delivered is not None
+
+    def test_paths_far_from_minimal(self):
+        """The paper's criticism: 'the shortest ways between two nodes
+        are nearly never taken'."""
+        topo = Mesh2D(6, 6)
+        tree_hops = []
+        dist = []
+        net = Network(topo, SpanningTreeRouting())
+        pairs = [(s, d) for s in range(36) for d in range(36)
+                 if s != d and (s + d) % 5 == 0]
+        msgs = [net.offer(s, d, 2) for s, d in pairs]
+        net.run_until_drained()
+        for (s, d), m in zip(pairs, msgs):
+            tree_hops.append(m.hops - 1)
+            dist.append(topo.distance(s, d))
+        assert sum(tree_hops) > 1.3 * sum(dist)
+
+    def test_survives_faults_by_recomputation(self):
+        topo = Mesh2D(5, 5)
+        net = Network(topo, SpanningTreeRouting())
+        sched = FaultSchedule()
+        sched.add_node_fault(200, 12)  # the mesh centre
+        net.fault_schedule = sched
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.05,
+                                            message_length=3, seed=2))
+        net.run(800)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+        assert net.stats.messages_dropped == 0
+
+    def test_refuses_disconnected_destination(self):
+        topo = Mesh2D(3, 3)
+        net = Network(topo, SpanningTreeRouting())
+        # isolate the corner node 8 (coords (2,2))
+        net.schedule_faults(FaultSchedule.static(
+            links=[(topo.node_at(2, 2), topo.node_at(1, 2)),
+                   (topo.node_at(2, 2), topo.node_at(2, 1))]))
+        assert net.offer(0, topo.node_at(2, 2), 2) is None
+
+    def test_single_vc_never_deadlocks(self):
+        net = Network(Mesh2D(5, 5), SpanningTreeRouting())
+        net.attach_traffic(TrafficGenerator(net.topology, "uniform",
+                                            load=0.08, message_length=4,
+                                            seed=6))
+        net.run(1500)
+        net.traffic = None
+        net.run_until_drained()
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        for name in ALGORITHMS:
+            algo = make_algorithm(name)
+            assert algo.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_algorithm("nonsense")
+
+    def test_topology_checks(self):
+        with pytest.raises(RoutingError):
+            Network(Hypercube(3), make_algorithm("nafta"))
+        with pytest.raises(RoutingError):
+            Network(Mesh2D(4, 4), make_algorithm("route_c"))
+
+    def test_vc_requirements_match_paper(self):
+        assert make_algorithm("nara").n_vcs == 2
+        assert make_algorithm("nafta").n_vcs == 2
+        assert make_algorithm("route_c").n_vcs == 5   # paper Section 2.2
+        assert make_algorithm("route_c_nft").n_vcs == 1
+        assert make_algorithm("xy").n_vcs == 1
+
+    def test_step_ranges_match_paper(self):
+        assert make_algorithm("nafta").decision_steps_range() == (1, 3)
+        assert make_algorithm("route_c").decision_steps_range() == (2, 2)
+        assert make_algorithm("nara").decision_steps_range() == (1, 1)
+        assert make_algorithm("route_c_nft").decision_steps_range() == (1, 1)

@@ -1,0 +1,64 @@
+"""Tests for k-ary n-cube dimension-order routing."""
+
+import pytest
+
+from repro.analysis import check_deadlock_free
+from repro.routing import KAryNCubeDOR, RoutingError
+from repro.sim import KAryNCube, Mesh2D, Network, SimConfig, TrafficGenerator
+
+
+class TestKAryNCubeDOR:
+    def test_wrong_topology_rejected(self):
+        with pytest.raises(RoutingError):
+            Network(Mesh2D(4, 4), KAryNCubeDOR())
+
+    def test_minimal_delivery(self):
+        topo = KAryNCube(4, 3)
+        net = Network(topo, KAryNCubeDOR())
+        src = topo.node_at((0, 0, 0))
+        dst = topo.node_at((2, 3, 1))
+        m = net.offer(src, dst, 3)
+        net.run_until_drained()
+        assert m.delivered is not None
+        assert m.hops == topo.distance(src, dst) + 1
+
+    def test_takes_short_way_around(self):
+        topo = KAryNCube(5, 2)
+        net = Network(topo, KAryNCubeDOR(), config=SimConfig(trace_paths=True))
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((4, 0))  # one hop backwards around the ring
+        m = net.offer(src, dst, 2)
+        net.run_until_drained()
+        assert m.hops == 2  # 1 wrap hop + ejection
+
+    def test_dimension_order_in_trace(self):
+        topo = KAryNCube(4, 3)
+        net = Network(topo, KAryNCubeDOR(), config=SimConfig(trace_paths=True))
+        src = topo.node_at((0, 0, 0))
+        dst = topo.node_at((2, 2, 2))
+        m = net.offer(src, dst, 2)
+        net.run_until_drained()
+        dims = []
+        trace = m.header.fields["trace"]
+        for a, b in zip(trace, trace[1:]):
+            ca, cb = topo.coords(a), topo.coords(b)
+            dims.append(next(i for i in range(3) if ca[i] != cb[i]))
+        assert dims == sorted(dims)  # ascending dimension order
+
+    def test_uniform_load_delivers(self):
+        topo = KAryNCube(4, 2)
+        net = Network(topo, KAryNCubeDOR())
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.15,
+                                            message_length=4, seed=3))
+        net.run(1200)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+
+    def test_cdg_acyclic(self):
+        r = check_deadlock_free(KAryNCube(4, 2), KAryNCubeDOR())
+        assert r.acyclic, r.cycle
+
+    def test_cdg_acyclic_3d(self):
+        r = check_deadlock_free(KAryNCube(3, 3), KAryNCubeDOR())
+        assert r.acyclic, r.cycle

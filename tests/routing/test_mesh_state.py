@@ -1,0 +1,125 @@
+"""Tests for the mesh fault-state machine (NAFTA's knowledge layer)."""
+
+from repro.routing.mesh_state import MeshFaultMap
+from repro.sim import EAST, FaultState, Mesh2D, NORTH, SOUTH, WEST
+
+
+def make_map(w=8, h=8, dead_nodes=(), dead_links=()):
+    topo = Mesh2D(w, h)
+    faults = FaultState(topo)
+    for c in dead_nodes:
+        faults.fail_node(topo.node_at(*c))
+    for a, b in dead_links:
+        faults.fail_link(topo.node_at(*a), topo.node_at(*b))
+    return topo, MeshFaultMap(topo, faults)
+
+
+class TestDeactivation:
+    def test_no_faults_nothing_blocked(self):
+        _, fmap = make_map()
+        assert fmap.n_deactivated() == 0
+        assert not fmap.blocked_nodes()
+
+    def test_single_fault_deactivates_nothing(self):
+        _, fmap = make_map(dead_nodes=[(3, 3)])
+        assert fmap.n_deactivated() == 0
+
+    def test_diagonal_pair_fills_square(self):
+        topo, fmap = make_map(dead_nodes=[(3, 3), (4, 4)])
+        blocked = {topo.coords(n) for n in fmap.blocked_nodes()}
+        assert blocked == {(3, 3), (4, 4), (3, 4), (4, 3)}
+        assert fmap.n_deactivated() == 2
+
+    def test_l_shape_completes_to_rectangle(self):
+        topo, fmap = make_map(dead_nodes=[(2, 2), (3, 3), (2, 4)])
+        blocked = {topo.coords(n) for n in fmap.blocked_nodes()}
+        # the three faults span columns 2-3, rows 2-4 -> 2x3 rectangle
+        assert blocked == {(x, y) for x in (2, 3) for y in (2, 3, 4)}
+
+    def test_border_chain_deactivates_shadow(self):
+        # the paper's Figure 2 motif: a diagonal chain near the border
+        topo, fmap = make_map(dead_nodes=[(0, 4), (1, 5), (2, 6)])
+        blocked = {topo.coords(n) for n in fmap.blocked_nodes()}
+        # the diagonal's bounding box fills in completely (borders
+        # themselves do not count as blocked, so row 7 stays usable)
+        assert blocked == {(x, y) for x in (0, 1, 2) for y in (4, 5, 6)}
+
+    def test_isolated_dead_link_blocks_nothing(self):
+        _, fmap = make_map(dead_links=[((3, 3), (4, 3))])
+        assert not fmap.blocked_nodes()
+
+    def test_two_crossing_dead_links_deactivate_corner(self):
+        topo, fmap = make_map(dead_links=[((3, 3), (4, 3)), ((3, 3), (3, 4))])
+        blocked = {topo.coords(n) for n in fmap.blocked_nodes()}
+        assert blocked == {(3, 3)}
+
+
+class TestClearRuns:
+    def test_full_runs_without_faults(self):
+        topo, fmap = make_map(4, 4)
+        origin = topo.node_at(0, 0)
+        assert fmap.clear_run(origin, EAST) == 3
+        assert fmap.clear_run(origin, NORTH) == 3
+        assert fmap.clear_run(origin, WEST) == 0
+        assert fmap.clear_run(origin, SOUTH) == 0
+
+    def test_run_stops_at_fault(self):
+        topo, fmap = make_map(8, 8, dead_nodes=[(5, 0)])
+        origin = topo.node_at(0, 0)
+        assert fmap.clear_run(origin, EAST) == 4  # nodes 1..4 usable
+
+    def test_run_stops_at_dead_link(self):
+        topo, fmap = make_map(8, 8, dead_links=[((2, 0), (3, 0))])
+        origin = topo.node_at(0, 0)
+        assert fmap.clear_run(origin, EAST) == 2
+
+    def test_run_reaches(self):
+        topo, fmap = make_map(8, 8, dead_nodes=[(0, 5)])
+        origin = topo.node_at(0, 0)
+        assert fmap.run_reaches(origin, NORTH, 4)
+        assert not fmap.run_reaches(origin, NORTH, 5)
+
+    def test_runs_account_for_deactivation(self):
+        topo, fmap = make_map(8, 8, dead_nodes=[(3, 3), (4, 4)])
+        # (3,4) is deactivated, so a northward run in column 3 stops early
+        start = topo.node_at(3, 0)
+        assert fmap.clear_run(start, NORTH) == 2  # rows 1,2 usable
+
+
+class TestDeadEnds:
+    def test_no_dead_ends_without_faults(self):
+        topo, fmap = make_map(4, 4)
+        for n in topo.nodes():
+            st = fmap.state(n)
+            # border nodes trivially have "all columns beyond" empty,
+            # which counts as dead-end (vacuous truth)
+            x, y = topo.coords(n)
+            if x < 3:
+                assert not st.dead_end[EAST]
+
+    def test_dead_end_east_when_every_east_column_faulty(self):
+        topo, fmap = make_map(4, 4, dead_nodes=[(2, 0), (3, 2)])
+        st = fmap.state(topo.node_at(1, 1))
+        assert st.dead_end[EAST]
+        assert not st.dead_end[WEST]
+
+    def test_not_dead_end_with_one_clear_column(self):
+        topo, fmap = make_map(4, 4, dead_nodes=[(3, 2)])
+        st = fmap.state(topo.node_at(1, 1))
+        assert not st.dead_end[EAST]  # column 2 has no fault
+
+
+class TestRecompute:
+    def test_recompute_after_new_fault(self):
+        topo = Mesh2D(6, 6)
+        faults = FaultState(topo)
+        fmap = MeshFaultMap(topo, faults)
+        assert not fmap.blocked_nodes()
+        faults.fail_node(topo.node_at(2, 2))
+        faults.fail_node(topo.node_at(3, 3))
+        fmap.recompute()
+        assert len(fmap.blocked_nodes()) == 4
+
+    def test_propagation_settles(self):
+        _, fmap = make_map(8, 8, dead_nodes=[(1, 1), (2, 2), (3, 3)])
+        assert fmap.propagation_rounds < 8 * 8

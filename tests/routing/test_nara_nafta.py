@@ -1,0 +1,229 @@
+"""Tests for NARA and NAFTA on 2-D meshes."""
+
+import numpy as np
+import pytest
+
+from repro.routing import NaftaRouting, NaraRouting, assign_virtual_network
+from repro.routing.nafta import VN_FREE, VN_TERMINAL
+from repro.sim import (EAST, FaultSchedule, Mesh2D, NORTH, Network, SOUTH,
+                       SimConfig, TrafficGenerator, WEST, random_link_faults)
+
+
+def mesh_net(algo, w=8, h=8, **cfg):
+    return Network(Mesh2D(w, h), algo, config=SimConfig(**cfg))
+
+
+class TestVirtualNetworkAssignment:
+    def test_northbound_gets_vc1(self):
+        topo = Mesh2D(8, 8)
+        assert assign_virtual_network(topo, topo.node_at(3, 1),
+                                      topo.node_at(5, 6)) == 1
+
+    def test_southbound_gets_vc0(self):
+        topo = Mesh2D(8, 8)
+        assert assign_virtual_network(topo, topo.node_at(3, 6),
+                                      topo.node_at(5, 1)) == 0
+
+    def test_row_message_gets_vc0(self):
+        topo = Mesh2D(8, 8)
+        assert assign_virtual_network(topo, topo.node_at(0, 4),
+                                      topo.node_at(7, 4)) == 0
+
+
+class TestNaraFaultFree:
+    def test_all_delivered(self):
+        net = mesh_net(NaraRouting())
+        net.attach_traffic(TrafficGenerator(net.topology, "uniform",
+                                            load=0.2, message_length=4,
+                                            seed=1))
+        net.run(1500)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+        assert net.stats.messages_stuck == 0
+
+    def test_minimal_paths_only(self):
+        """NARA never misroutes: hops == distance + 1 (ejection)."""
+        net = mesh_net(NaraRouting())
+        topo = net.topology
+        pairs = [(0, 63), (7, 56), (9, 54), (16, 23)]
+        msgs = [net.offer(s, d, 3) for s, d in pairs]
+        net.run_until_drained()
+        for (s, d), m in zip(pairs, msgs):
+            assert m.hops == topo.distance(s, d) + 1
+
+    def test_turn_model_respected(self):
+        """Messages in VC1 never turn off a south move; in VC0 never
+        off a north move."""
+        net = mesh_net(NaraRouting(), trace_paths=True)
+        topo = net.topology
+        for s in range(0, 64, 5):
+            for d in range(3, 64, 7):
+                if s != d:
+                    net.offer(s, d, 2)
+        net.run_until_drained()
+        for m in net.messages.values():
+            trace = m.header.fields.get("trace", [])
+            vn = m.header.fields.get("vn")
+            if vn is None or len(trace) < 3:
+                continue
+            term = VN_TERMINAL[vn]
+            moved_term = False
+            for a, b in zip(trace, trace[1:]):
+                ax, ay = topo.coords(a)
+                bx, by = topo.coords(b)
+                move = (NORTH if by > ay else SOUTH if by < ay
+                        else EAST if bx > ax else WEST)
+                if moved_term:
+                    assert move == term, \
+                        f"msg {m.header.msg_id} broke the turn model"
+                if move == term:
+                    moved_term = True
+
+    def test_steps_always_one(self):
+        net = mesh_net(NaraRouting())
+        net.offer(0, 63, 4)
+        net.run_until_drained()
+        assert net.stats.max_decision_steps == 1
+
+
+class TestNaftaFaultFree:
+    def test_behaves_like_nara(self):
+        """The paper defines the nft variant by identical fault-free
+        behaviour; our NAFTA reduces to NARA without faults: same
+        delivery set, same minimal hop counts, 1 step per decision."""
+        results = {}
+        for algo in (NaraRouting(), NaftaRouting()):
+            net = mesh_net(algo)
+            topo = net.topology
+            pairs = [(s, d) for s in range(0, 64, 3) for d in (5, 42)
+                     if s != d]
+            msgs = [net.offer(s, d, 3) for s, d in pairs]
+            net.run_until_drained()
+            results[algo.name] = [(m.hops, m.latency) for m in msgs]
+        assert results["nara"] == results["nafta"]
+
+    def test_fault_free_single_step(self):
+        net = mesh_net(NaftaRouting())
+        net.offer(0, 63, 4)
+        net.run_until_drained()
+        assert net.stats.max_decision_steps == 1
+
+
+class TestNaftaWithFaults:
+    def test_routes_around_fault_block(self):
+        net = mesh_net(NaftaRouting(), trace_paths=True)
+        topo = net.topology
+        net.schedule_faults(FaultSchedule.static(
+            nodes=[topo.node_at(3, 3), topo.node_at(4, 3)]))
+        m = net.offer(topo.node_at(0, 3), topo.node_at(7, 3), 4)
+        net.run_until_drained()
+        assert m.delivered is not None
+        assert m.header.misrouted
+        assert m.hops > topo.distance(m.header.src, m.header.dst) + 1
+        trace = {topo.coords(n) for n in m.header.fields["trace"]}
+        assert not trace & {(3, 3), (4, 3)}
+
+    def test_worst_case_three_steps(self):
+        net = mesh_net(NaftaRouting())
+        topo = net.topology
+        net.schedule_faults(FaultSchedule.static(
+            nodes=[topo.node_at(3, 3), topo.node_at(4, 3)]))
+        net.offer(topo.node_at(0, 3), topo.node_at(7, 3), 4)
+        net.run_until_drained()
+        assert net.stats.max_decision_steps == 3
+
+    def test_deactivated_destination_refused(self):
+        net = mesh_net(NaftaRouting())
+        topo = net.topology
+        # diagonal pair deactivates (3,4) and (4,3)
+        net.schedule_faults(FaultSchedule.static(
+            nodes=[topo.node_at(3, 3), topo.node_at(4, 4)]))
+        assert net.offer(0, topo.node_at(3, 4), 4) is None
+        assert net.stats.messages_unroutable == 1
+
+    @pytest.mark.parametrize("fseed", [0, 1, 2, 3, 4])
+    def test_no_deadlock_random_link_faults(self, fseed):
+        rng = np.random.default_rng(fseed)
+        topo = Mesh2D(8, 8)
+        links = random_link_faults(topo, 8, rng)
+        net = Network(topo, NaftaRouting())
+        net.schedule_faults(FaultSchedule.static(links=links))
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.15,
+                                            message_length=4,
+                                            seed=fseed + 50))
+        net.run(1500)
+        net.traffic = None
+        net.run_until_drained()   # raises DeadlockError on failure
+        assert not net.undelivered()
+
+    @pytest.mark.parametrize("pattern", ["transpose", "bit_complement",
+                                         "hotspot"])
+    def test_no_deadlock_adversarial_patterns(self, pattern):
+        topo = Mesh2D(8, 8)
+        net = Network(topo, NaftaRouting())
+        net.schedule_faults(FaultSchedule.static(
+            nodes=[topo.node_at(2, 2), topo.node_at(5, 5)]))
+        net.attach_traffic(TrafficGenerator(topo, pattern, load=0.2,
+                                            message_length=4, seed=5))
+        net.run(1200)
+        net.traffic = None
+        net.run_until_drained()
+
+    def test_dynamic_fault_with_quiesce(self):
+        net = mesh_net(NaftaRouting())
+        topo = net.topology
+        sched = FaultSchedule()
+        sched.add_node_fault(300, topo.node_at(3, 3))
+        net.fault_schedule = sched
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.1,
+                                            message_length=4, seed=8))
+        net.run(1000)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+        assert net.stats.messages_dropped == 0  # quiesce: nothing ripped
+
+    def test_livelock_counter_bounds_paths(self):
+        net = mesh_net(NaftaRouting())
+        topo = net.topology
+        net.schedule_faults(FaultSchedule.static(
+            nodes=[topo.node_at(3, 3)]))
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.2,
+                                            message_length=4, seed=3))
+        net.run(2000)
+        net.traffic = None
+        net.run_until_drained()
+        limit = NaftaRouting().livelock_factor * (8 + 8) + 16 + 2
+        for m in net.messages.values():
+            if m.delivered is not None:
+                assert m.hops <= limit
+
+
+class TestNaftaConditions:
+    def test_condition1_all_minimal_paths_usable_fault_free(self):
+        """Condition 1: on a fault-free mesh every minimal path can be
+        selected.  We check the candidate sets offered at each node
+        cover all minimal directions."""
+        net = mesh_net(NaftaRouting())
+        topo = net.topology
+        algo = net.algorithm
+        from repro.sim.flit import Header
+        for src, dst in [(0, 63), (56, 7), (0, 7), (0, 56)]:
+            hdr = Header(msg_id=99999, src=src, dst=dst, length=2, created=0)
+            decision = algo.route(net.routers[src], hdr, -1, 0)
+            minimal = set(topo.minimal_ports(src, dst))
+            offered = {p for p, _ in decision.candidates}
+            assert offered == minimal
+
+    def test_condition2_minimal_path_used_when_available(self):
+        """If a minimal path survives the faults, NAFTA should use a
+        minimal route (it only misroutes when blocked)."""
+        net = mesh_net(NaftaRouting())
+        topo = net.topology
+        # fault off the minimal rectangle of (0,0) -> (7,2)
+        net.schedule_faults(FaultSchedule.static(
+            nodes=[topo.node_at(2, 6)]))
+        m = net.offer(topo.node_at(0, 0), topo.node_at(7, 2), 3)
+        net.run_until_drained()
+        assert m.hops == topo.distance(m.header.src, m.header.dst) + 1

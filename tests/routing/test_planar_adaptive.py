@@ -1,0 +1,137 @@
+"""Tests for Planar-Adaptive Routing and the n-dimensional mesh."""
+
+import pytest
+
+from repro.analysis import check_deadlock_free
+from repro.routing import PlanarAdaptiveRouting, RoutingError
+from repro.sim import (FaultSchedule, Mesh2D, MeshND, Network, SimConfig,
+                       Torus2D, TrafficGenerator)
+
+
+class TestMeshND:
+    def test_node_count(self):
+        assert MeshND((4, 3, 2)).n_nodes == 24
+
+    def test_coords_roundtrip(self):
+        t = MeshND((3, 4, 2))
+        for n in t.nodes():
+            assert t.node_at(t.coords(n)) == n
+
+    def test_border_ports_missing(self):
+        t = MeshND((3, 3))
+        origin = t.node_at((0, 0))
+        # + ports exist, - ports do not
+        assert set(t.ports(origin)) == {0, 2}
+
+    def test_ports_symmetric(self):
+        t = MeshND((3, 3, 2))
+        for n in t.nodes():
+            for pid, p in t.ports(n).items():
+                back = t.port(p.neighbor, p.neighbor_port)
+                assert back.neighbor == n
+
+    def test_distance_is_l1(self):
+        t = MeshND((5, 5, 5))
+        a = t.node_at((0, 1, 2))
+        b = t.node_at((4, 3, 0))
+        assert t.distance(a, b) == 4 + 2 + 2
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MeshND((0, 3))
+        with pytest.raises(ValueError):
+            MeshND(())
+
+
+class TestPlanarAdaptive:
+    def test_topology_requirements(self):
+        with pytest.raises(RoutingError):
+            Network(Torus2D(4, 4), PlanarAdaptiveRouting())
+
+    def test_minimal_delivery_3d(self):
+        topo = MeshND((4, 4, 4))
+        net = Network(topo, PlanarAdaptiveRouting())
+        src = topo.node_at((0, 3, 1))
+        dst = topo.node_at((3, 0, 2))
+        m = net.offer(src, dst, 3)
+        net.run_until_drained()
+        assert m.hops == topo.distance(src, dst) + 1
+
+    def test_plane_order_in_trace(self):
+        """Dimension 0 is fully corrected before dimension 2 moves
+        (planes are traversed in order; dim 1 may interleave with
+        both as the shared plane edge)."""
+        topo = MeshND((4, 4, 4))
+        net = Network(topo, PlanarAdaptiveRouting(),
+                      config=SimConfig(trace_paths=True))
+        src = topo.node_at((0, 0, 0))
+        dst = topo.node_at((3, 3, 3))
+        m = net.offer(src, dst, 2)
+        net.run_until_drained()
+        trace = [topo.coords(n) for n in m.header.fields["trace"]]
+        moved_dims = []
+        for a, b in zip(trace, trace[1:]):
+            moved_dims.append(next(i for i in range(3) if a[i] != b[i]))
+        first_d2 = moved_dims.index(2)
+        assert all(d != 0 for d in moved_dims[first_d2:])
+
+    def test_adaptive_within_plane(self):
+        """In the 2-D case PAR offers both minimal directions."""
+        from repro.sim.flit import Header
+        topo = Mesh2D(5, 5)
+        net = Network(topo, PlanarAdaptiveRouting())
+        hdr = Header(msg_id=0, src=0, dst=topo.node_at(3, 3), length=2,
+                     created=0)
+        decision = net.algorithm.route(net.routers[0], hdr, -1, 0)
+        assert len(decision.candidates) == 2
+
+    def test_works_on_plain_mesh2d(self):
+        net = Network(Mesh2D(5, 5), PlanarAdaptiveRouting())
+        net.attach_traffic(TrafficGenerator(net.topology, "uniform",
+                                            load=0.15, message_length=4,
+                                            seed=5))
+        net.run(1000)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+
+    def test_heavy_3d_traffic_no_deadlock(self):
+        topo = MeshND((3, 3, 3))
+        net = Network(topo, PlanarAdaptiveRouting(),
+                      config=SimConfig(buffer_depth=2))
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.3,
+                                            message_length=4, seed=8))
+        net.run(1500)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+
+    @pytest.mark.parametrize("topo_factory", [
+        lambda: Mesh2D(5, 5), lambda: MeshND((3, 3, 3)),
+        lambda: MeshND((4, 4))])
+    def test_cdg_acyclic(self, topo_factory):
+        r = check_deadlock_free(topo_factory(), PlanarAdaptiveRouting())
+        assert r.acyclic, r.cycle
+
+    def test_fault_on_unique_path_is_unroutable(self):
+        """PAR's plane discipline cannot misroute: a fault on the only
+        in-plane path strands the message (the simplification noted in
+        the module docstring)."""
+        topo = Mesh2D(4, 4)
+        net = Network(topo, PlanarAdaptiveRouting())
+        a, b = topo.node_at(1, 0), topo.node_at(2, 0)
+        net.schedule_faults(FaultSchedule.static(links=[(a, b)]))
+        m = net.offer(a, b, 2)  # row message: single in-plane direction
+        net.run_until_drained()
+        assert m.delivered is None
+        assert net.stats.messages_stuck == 1
+
+    def test_fault_off_plane_is_avoided(self):
+        topo = Mesh2D(5, 5)
+        net = Network(topo, PlanarAdaptiveRouting())
+        net.schedule_faults(FaultSchedule.static(
+            links=[(topo.node_at(1, 0), topo.node_at(2, 0))]))
+        m = net.offer(topo.node_at(0, 0), topo.node_at(3, 3), 3)
+        net.run_until_drained()
+        assert m.delivered is not None
+        assert m.hops == topo.distance(m.header.src, m.header.dst) + 1

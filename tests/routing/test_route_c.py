@@ -1,0 +1,238 @@
+"""Tests for ROUTE_C (hypercube) and its stripped nft variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import (FAULTY, LFAULT, OUNSAFE, SAFE, SUNSAFE,
+                           RouteCRouting, StrippedRouteC)
+from repro.routing.route_c import SEVERITY, CubeStateMap
+from repro.sim import (FaultSchedule, FaultState, Hypercube, Network,
+                       SimConfig, TrafficGenerator)
+
+
+def cube_map(d=4, dead_nodes=(), dead_links=()):
+    topo = Hypercube(d)
+    faults = FaultState(topo)
+    for n in dead_nodes:
+        faults.fail_node(n)
+    for a, b in dead_links:
+        faults.fail_link(a, b)
+    return topo, CubeStateMap(topo, faults)
+
+
+class TestCubeStateMap:
+    def test_all_safe_without_faults(self):
+        _, sm = cube_map()
+        assert all(s == SAFE for s in sm.states)
+
+    def test_faulty_node_marked(self):
+        _, sm = cube_map(dead_nodes=[5])
+        assert sm.state(5) == FAULTY
+        # one faulty neighbour alone does not make anyone unsafe
+        assert all(s in (SAFE, FAULTY) for s in sm.states)
+
+    def test_link_fault_marks_endpoints(self):
+        _, sm = cube_map(dead_links=[(0, 1)])
+        assert sm.state(0) == LFAULT
+        assert sm.state(1) == LFAULT
+
+    def test_two_faulty_neighbors_make_sunsafe(self):
+        # node 0's neighbours in a 4-cube: 1, 2, 4, 8
+        _, sm = cube_map(dead_nodes=[1, 2])
+        assert sm.state(0) == SUNSAFE
+
+    def test_two_unsafe_neighbors_make_ounsafe(self):
+        # make nodes 1 and 2 unsafe (not faulty), then 0 becomes ounsafe
+        # 1's neighbours: 0,3,5,9 ; 2's: 0,3,6,10
+        _, sm = cube_map(dead_nodes=[3, 5, 9, 6, 10])
+        assert sm.state(1) == SUNSAFE or SEVERITY[sm.state(1)] >= 1
+        assert SEVERITY[sm.state(0)] >= SEVERITY[OUNSAFE]
+
+    def test_propagation_converges(self):
+        _, sm = cube_map(d=5, dead_nodes=[1, 2, 4, 8, 16])
+        assert sm.propagation_rounds <= 32 + 2
+
+    def test_not_totally_unsafe_with_few_faults(self):
+        d = 4
+        _, sm = cube_map(d=d, dead_nodes=[1, 2, 4])  # n-1 = 3 faults
+        assert not sm.totally_unsafe()
+
+    def test_totally_unsafe_needs_many_faults(self):
+        """The paper: 'This will only occur if more than n-1 nodes are
+        faulty' — verify no (n-1)-subset of a 3-cube makes the network
+        totally unsafe, but some n-subset does."""
+        import itertools
+        d = 3
+        topo = Hypercube(d)
+        for combo in itertools.combinations(range(8), d - 1):
+            faults = FaultState(topo)
+            for n in combo:
+                faults.fail_node(n)
+            sm = CubeStateMap(topo, faults)
+            assert not sm.totally_unsafe(), combo
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.integers(0, 15), max_size=6))
+    def test_monotone_lattice_property(self, dead):
+        """More faults never make any node state less severe."""
+        _, sm_small = cube_map(dead_nodes=sorted(dead)[:len(dead) // 2])
+        _, sm_large = cube_map(dead_nodes=sorted(dead))
+        for n in range(16):
+            assert SEVERITY[sm_large.state(n)] >= SEVERITY[sm_small.state(n)] \
+                or sm_large.state(n) in (FAULTY, LFAULT)
+
+
+class TestStrippedRouteC:
+    def test_minimal_delivery(self):
+        net = Network(Hypercube(4), StrippedRouteC())
+        m = net.offer(0b0000, 0b1111, 4)
+        net.run_until_drained()
+        assert m.hops == 4 + 1
+
+    def test_two_phase_order(self):
+        """Up-flips (0->1) happen before down-flips (1->0)."""
+        net = Network(Hypercube(4), StrippedRouteC(),
+                      config=SimConfig(trace_paths=True))
+        m = net.offer(0b0011, 0b1100, 2)
+        net.run_until_drained()
+        trace = m.header.fields["trace"]
+        phase = 0  # 0 = up, 1 = down
+        for a, b in zip(trace, trace[1:]):
+            if b > a:
+                assert phase == 0
+            else:
+                phase = 1
+
+    def test_steps_are_one(self):
+        net = Network(Hypercube(4), StrippedRouteC())
+        net.offer(0, 15, 2)
+        net.run_until_drained()
+        assert net.stats.max_decision_steps == 1
+
+    def test_load_delivers(self):
+        net = Network(Hypercube(4), StrippedRouteC())
+        net.attach_traffic(TrafficGenerator(net.topology, "uniform",
+                                            load=0.25, message_length=4,
+                                            seed=4))
+        net.run(1200)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+
+
+class TestRouteC:
+    def test_fault_free_behaves_like_stripped(self):
+        """The nft variant is defined by identical fault-free paths."""
+        results = {}
+        for algo in (StrippedRouteC(), RouteCRouting()):
+            net = Network(Hypercube(4), algo)
+            pairs = [(s, d) for s in range(16) for d in (7, 12) if s != d]
+            msgs = [net.offer(s, d, 3) for s, d in pairs]
+            net.run_until_drained()
+            results[algo.name] = [m.hops for m in msgs]
+        assert results["route_c_nft"] == results["route_c"]
+
+    def test_steps_always_two(self):
+        net = Network(Hypercube(4), RouteCRouting())
+        net.offer(0, 15, 2)
+        net.run_until_drained()
+        assert net.stats.max_decision_steps == 2
+        assert net.stats.mean_decision_steps == 2.0
+
+    def test_detour_around_faulty_node(self):
+        net = Network(Hypercube(4), RouteCRouting(),
+                      config=SimConfig(trace_paths=True))
+        # 0 -> 3 has minimal paths through 1 and 2; kill both
+        net.schedule_faults(FaultSchedule.static(nodes=[1, 2]))
+        m = net.offer(0, 3, 3)
+        net.run_until_drained()
+        assert m.delivered is not None
+        assert m.header.misrouted
+        assert m.hops > net.topology.distance(0, 3) + 1
+        assert not {1, 2} & set(m.header.fields["trace"])
+
+    def test_detour_around_dead_link(self):
+        net = Network(Hypercube(3), RouteCRouting())
+        net.schedule_faults(FaultSchedule.static(links=[(0, 1)]))
+        m = net.offer(0, 1, 3)
+        net.run_until_drained()
+        assert m.delivered is not None
+        assert m.hops == 3 + 1  # shortest detour: 3 hops
+
+    @pytest.mark.parametrize("fseed", [0, 1, 2, 3])
+    def test_no_deadlock_random_faults(self, fseed):
+        rng = np.random.default_rng(fseed)
+        topo = Hypercube(4)
+        dead = sorted(set(int(x) for x in rng.integers(0, 16, 3)))
+        net = Network(topo, RouteCRouting())
+        net.schedule_faults(FaultSchedule.static(nodes=dead))
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.15,
+                                            message_length=4,
+                                            seed=fseed + 30))
+        net.run(1500)
+        net.traffic = None
+        net.run_until_drained()
+        assert not net.undelivered()
+
+    def test_vc_classes_monotone(self):
+        """A worm's VC class never decreases (the hops-so-far scheme's
+        acyclicity argument)."""
+        net = Network(Hypercube(4), RouteCRouting())
+        net.schedule_faults(FaultSchedule.static(nodes=[1, 2, 4]))
+        msgs = [net.offer(0, d, 3) for d in (3, 5, 6, 7, 15)]
+        net.run_until_drained()
+        for m in msgs:
+            if m is None:
+                continue
+            assert int(m.header.fields.get("vc_class", 0)) <= 4
+
+    def test_accepts_refuses_faulty_destination(self):
+        net = Network(Hypercube(4), RouteCRouting())
+        net.schedule_faults(FaultSchedule.static(nodes=[5]))
+        assert net.offer(0, 5, 2) is None
+
+
+class TestCondition2Knowledge:
+    """Paper: 'The algorithm has the interesting property that it is
+    known for a node, whether condition 2 ... can be met or not.'
+    Whenever the state map's predicate promises Condition 2, ROUTE_C
+    must deliver over a minimal path (one-sided guarantee)."""
+
+    @pytest.mark.parametrize("dead", [[5], [5, 10], [1, 2, 4]])
+    def test_prediction_implies_minimal_delivery(self, dead):
+        topo = Hypercube(4)
+        probe = Network(topo, RouteCRouting())
+        probe.schedule_faults(FaultSchedule.static(nodes=dead))
+        sm = probe.algorithm.state_map
+        checked = 0
+        for src in range(16):
+            for dst in range(16):
+                if src == dst or src in dead or dst in dead:
+                    continue
+                if not sm.condition2_attainable(src, dst):
+                    continue
+                net = Network(Hypercube(4), RouteCRouting())
+                net.schedule_faults(FaultSchedule.static(nodes=dead))
+                m = net.offer(src, dst, 2)
+                assert m is not None
+                net.run_until_drained()
+                assert m.delivered is not None, (src, dst)
+                assert m.hops == topo.distance(src, dst) + 1, (src, dst)
+                checked += 1
+        assert checked > 20  # the predicate is not vacuous
+
+    def test_prediction_false_for_severed_minimal_paths(self):
+        topo = Hypercube(3)
+        net = Network(topo, RouteCRouting())
+        net.schedule_faults(FaultSchedule.static(nodes=[1, 2]))
+        sm = net.algorithm.state_map
+        # 0 -> 3: both intermediate nodes (1 and 2) are faulty
+        assert not sm.condition2_attainable(0, 3)
+
+    def test_fault_free_always_attainable(self):
+        topo = Hypercube(3)
+        net = Network(topo, RouteCRouting())
+        sm = net.algorithm.state_map
+        assert all(sm.condition2_attainable(s, d)
+                   for s in range(8) for d in range(8) if s != d)

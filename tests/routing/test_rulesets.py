@@ -1,0 +1,264 @@
+"""Tests for the shipped DSL rulesets: compilation, behaviour, and
+differential checks against the native Python algorithms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import NaraRouting
+from repro.routing.rulesets import RULESETS, compile_ruleset, load_ruleset
+from repro.routing.rulesets.loader import minimal_cands, qbest
+from repro.sim import Mesh2D, Network
+from repro.sim.flit import Header
+
+
+def nafta_inputs(**over):
+    base = {
+        "xpos": 0, "ypos": 0, "xdes": 0, "ydes": 0, "vnin": 0,
+        "termin": "false", "sdirin": 0, "fault_present": "false",
+        "freemask": {(0,): frozenset({0, 1, 2, 3}),
+                     (1,): frozenset({0, 1, 2, 3})},
+        "oq": {(0,): 0, (1,): 0, (2,): 0, (3,): 0},
+        "samecol": "false", "runok": "false", "mlen": 4,
+        "info_kind": "load_info", "info_val": 0, "fault_kind": 0,
+    }
+    base.update(over)
+    return base
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", sorted(RULESETS))
+    def test_all_rulesets_compile(self, name):
+        cp = compile_ruleset(name)
+        assert cp.total_table_bits > 0
+
+    def test_route_c_parametric(self):
+        small = compile_ruleset("route_c", {"d": 3, "a": 1})
+        large = compile_ruleset("route_c", {"d": 8, "a": 3})
+        assert large.register_bits() > small.register_bits()
+
+    def test_merged_grows_exponentially(self):
+        sizes = {}
+        for d in (4, 5, 6):
+            cp = compile_ruleset("route_c_merged", {"d": d},
+                                 materialize=False)
+            sizes[d] = cp.rulebases["decide_all"].n_entries
+        assert sizes[5] == 2 * sizes[4]
+        assert sizes[6] == 2 * sizes[5]
+
+    def test_no_dead_rules_in_decision_bases(self):
+        cp = compile_ruleset("route_c")
+        assert cp.rulebases["decide_dir"].stats()["dead_rules"] == []
+
+
+@pytest.fixture(params=["table", "ast"])
+def mode(request):
+    return request.param
+
+
+class TestNaftaRulesetDecisions:
+    def test_deliver_at_destination(self, mode):
+        eng = load_ruleset("nafta", mode=mode)
+        eng.set_inputs(nafta_inputs(xpos=3, ypos=3, xdes=3, ydes=3))
+        assert eng.decide("incoming_message", 4, 0) == 4
+
+    def test_single_direction_quadrants(self, mode):
+        eng = load_ruleset("nafta", mode=mode)
+        cases = [
+            (dict(xpos=1, xdes=5, ypos=2, ydes=2, vnin=0), 0),   # east
+            (dict(xpos=5, xdes=1, ypos=2, ydes=2, vnin=0), 1),   # west
+            (dict(xpos=3, xdes=3, ypos=1, ydes=6, vnin=1), 2),   # north
+            (dict(xpos=3, xdes=3, ypos=6, ydes=1, vnin=0), 3),   # south
+        ]
+        for over, expect in cases:
+            eng.set_inputs(nafta_inputs(**over))
+            assert eng.decide("incoming_message", 4, 0) == expect
+
+    def test_quadrant_picks_lower_load(self, mode):
+        eng = load_ruleset("nafta", mode=mode)
+        eng.set_inputs(nafta_inputs(
+            xpos=1, xdes=5, ypos=1, ydes=5, vnin=1,
+            oq={(0,): 9, (1,): 0, (2,): 1, (3,): 0}))
+        assert eng.decide("incoming_message", 4, 1) == 2  # north less loaded
+
+    def test_blocked_output_not_chosen(self, mode):
+        eng = load_ruleset("nafta", mode=mode)
+        eng.set_inputs(nafta_inputs(
+            xpos=1, xdes=5, ypos=1, ydes=5, vnin=1,
+            freemask={(0,): frozenset(), (1,): frozenset({0})},
+            oq={(0,): 9, (1,): 0, (2,): 0, (3,): 0}))
+        # north not free on VC1 -> east despite higher load
+        assert eng.decide("incoming_message", 4, 1) == 0
+
+    def test_abstains_with_faults_present(self, mode):
+        """With fault knowledge the first base abstains and the ft base
+        takes the second interpretation step (paper: 1 vs up to 3)."""
+        eng = load_ruleset("nafta", mode=mode)
+        eng.set_inputs(nafta_inputs(xpos=1, xdes=5, ypos=2, ydes=2,
+                                    fault_present="true"))
+        res = eng.call("incoming_message", 4, 0)
+        assert not res.has_return
+
+    def test_ft_base_respects_usable_set(self, mode):
+        eng = load_ruleset("nafta", mode=mode)
+        eng.registers.write("usable_set", frozenset({1, 2, 3}))  # east dead
+        eng.set_inputs(nafta_inputs(xpos=1, xdes=5, ypos=1, ydes=5, vnin=1,
+                                    fault_present="true"))
+        assert eng.decide("in_message_ft", 4) == 2  # only north remains
+
+    def test_terminal_run_requires_runok(self, mode):
+        # a VC1 (south-last) message correcting a southward overshoot:
+        # the terminal south run may only start with a proven clear
+        # column; otherwise the base abstains (escalate to step 3)
+        eng = load_ruleset("nafta", mode=mode)
+        eng.set_inputs(nafta_inputs(xpos=3, xdes=3, ypos=6, ydes=1, vnin=1,
+                                    fault_present="true", samecol="true",
+                                    runok="false"))
+        res = eng.call("in_message_ft", 4)
+        assert not res.has_return  # must escalate to test_exception
+        eng.set_inputs(nafta_inputs(xpos=3, xdes=3, ypos=6, ydes=1, vnin=1,
+                                    fault_present="true", samecol="true",
+                                    runok="true"))
+        assert eng.decide("in_message_ft", 4) == 3  # terminal south
+
+    def test_free_minimal_needs_no_run_check(self, mode):
+        # northward progress in VC1 is a free move: no clear-run proof
+        # is required even in ft mode
+        eng = load_ruleset("nafta", mode=mode)
+        eng.set_inputs(nafta_inputs(xpos=3, xdes=3, ypos=1, ydes=6, vnin=1,
+                                    fault_present="true", samecol="true",
+                                    runok="false"))
+        assert eng.decide("in_message_ft", 4) == 2
+
+    def test_exception_base_picks_detour(self, mode):
+        eng = load_ruleset("nafta", mode=mode)
+        eng.set_inputs(nafta_inputs(xpos=2, xdes=6, ypos=3, ydes=3, vnin=1))
+        # arrived from the west (in_port 1); east blocked by usable_set
+        eng.registers.write("usable_set", frozenset({1, 2}))
+        out = eng.decide("test_exception", 1)
+        assert out == 2  # north, never back west
+
+    def test_stuck_emitted_when_no_detour(self, mode):
+        eng = load_ruleset("nafta", mode=mode)
+        eng.set_inputs(nafta_inputs(xpos=0, xdes=6, ypos=0, ydes=0, vnin=0))
+        eng.registers.write("usable_set", frozenset())
+        res = eng.call("test_exception", 1)
+        assert any(e.event == "declare_stuck" for e in res.emissions)
+
+
+class TestNaftaDifferential:
+    """DSL incoming_message == native NARA on the fault-free minimal
+    decision (same candidate structure, same adaptivity criterion)."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7),
+           st.integers(0, 7),
+           st.lists(st.integers(0, 63), min_size=4, max_size=4))
+    def test_matches_nara(self, xpos, ypos, xdes, ydes, loads):
+        if (xpos, ypos) == (xdes, ydes):
+            return
+        topo = Mesh2D(8, 8)
+        net = Network(topo, NaraRouting())
+        src = topo.node_at(xpos, ypos)
+        dst = topo.node_at(xdes, ydes)
+        hdr = Header(msg_id=0, src=src, dst=dst, length=2, created=0)
+        router = net.routers[src]
+        router.output_load = lambda pid: loads[pid] if pid >= 0 else 0
+        decision = net.algorithm.route(router, hdr, -1, 0)
+        vn = hdr.fields["vn"]
+        eng = load_ruleset("nafta")
+        eng.set_inputs(nafta_inputs(
+            xpos=xpos, ypos=ypos, xdes=xdes, ydes=ydes, vnin=vn,
+            oq={(i,): loads[i] for i in range(4)}))
+        out = eng.decide("incoming_message", 4, vn)
+        assert out == decision.candidates[0][0]
+
+    def test_minimal_cands_function_matches_nara_structure(self):
+        topo = Mesh2D(8, 8)
+        for src in (0, 9, 27, 63):
+            for dst in (5, 42, 56):
+                if src == dst:
+                    continue
+                from repro.routing.nara import (VN_FREE, VN_TERMINAL,
+                                                assign_virtual_network)
+                vn = assign_virtual_network(topo, src, dst)
+                x, y = topo.coords(src)
+                dx, dy = topo.coords(dst)
+                got = minimal_cands(x, y, dx, dy, vn)
+                want = {p for p in topo.minimal_ports(src, dst)
+                        if p in VN_FREE[vn]}
+                if VN_TERMINAL[vn] in topo.minimal_ports(src, dst) and x == dx:
+                    want.add(VN_TERMINAL[vn])
+                assert got == frozenset(want)
+
+
+class TestRouteCRuleset:
+    def test_decide_dir_prefers_safe_up(self, mode):
+        eng = load_ruleset("route_c", mode=mode)
+        eng.set_inputs({
+            "up_set": frozenset({0, 2}), "down_set": frozenset({4}),
+            "usable": frozenset({0, 2, 4}), "safe_mask": frozenset({2, 4}),
+            "at_dest": "false", "qload": {}, "new_state": {},
+        })
+        assert eng.decide("decide_dir") == frozenset({2})
+
+    def test_decide_dir_down_phase_after_up(self, mode):
+        eng = load_ruleset("route_c", mode=mode)
+        eng.set_inputs({
+            "up_set": frozenset(), "down_set": frozenset({1, 3}),
+            "usable": frozenset({1, 3}), "safe_mask": frozenset({1, 3}),
+            "at_dest": "false", "qload": {}, "new_state": {},
+        })
+        assert eng.decide("decide_dir") == frozenset({1, 3})
+
+    def test_decide_dir_detour_set(self, mode):
+        eng = load_ruleset("route_c", mode=mode)
+        eng.set_inputs({
+            "up_set": frozenset({0}), "down_set": frozenset(),
+            "usable": frozenset({3, 5}), "safe_mask": frozenset(),
+            "at_dest": "false", "qload": {}, "new_state": {},
+        })
+        assert eng.decide("decide_dir") == frozenset({3, 5})
+
+    def test_decide_vc_class_increment(self, mode):
+        eng = load_ruleset("route_c", mode=mode)
+        eng.set_inputs({"qload": {}, "new_state": {}})
+        assert eng.decide("decide_vc", 1, "false", 0) == 1
+        assert eng.decide("decide_vc", 1, "true", 0) == 2
+
+    def test_decide_vc_exhausted_emits_stuck(self, mode):
+        eng = load_ruleset("route_c", mode=mode)
+        eng.set_inputs({"qload": {}, "new_state": {}})
+        res = eng.call("decide_vc", 4, "true", 0)
+        assert not res.has_return
+        assert any(e.event == "stuck" for e in res.emissions)
+
+    def test_update_state_counts_and_propagates(self, mode):
+        eng = load_ruleset("route_c", mode=mode)
+        eng.set_inputs({"new_state": {(i,): "safe" for i in range(6)},
+                        "qload": {}})
+        # first faulty neighbour: counters only
+        eng.set_inputs({"new_state": {(0,): "faulty"}, "qload": {}})
+        eng.post("update_state", 0)
+        eng.run()
+        assert eng.registers.read("number_faulty") == 1
+        assert eng.registers.read("state") == "safe"
+        # second faulty neighbour: strongly unsafe + broadcast
+        eng.set_inputs({"new_state": {(1,): "lfault"}, "qload": {}})
+        eng.post("update_state", 1)
+        eng.run()
+        assert eng.registers.read("state") == "sunsafe"
+        ext = eng.drain_external()
+        assert sum(1 for e in ext if e.event == "send_newmessage") == 6
+
+    def test_update_state_two_unsafe_neighbors(self, mode):
+        eng = load_ruleset("route_c", mode=mode)
+        eng.set_inputs({"new_state": {(2,): "ounsafe"}, "qload": {}})
+        eng.post("update_state", 2)
+        eng.run()
+        assert eng.registers.read("state") == "safe"
+        assert eng.registers.read("number_unsafe") == 1
+        eng.set_inputs({"new_state": {(3,): "sunsafe"}, "qload": {}})
+        eng.post("update_state", 3)
+        eng.run()
+        assert eng.registers.read("state") == "ounsafe"
+        assert eng.registers.read("number_unsafe") == 2

@@ -1,0 +1,96 @@
+"""Unit tests for switch arbitration policies (the paper's Scheduling
+and Fairness subgoal)."""
+
+import pytest
+
+from repro.sim.arbiter import (Arbiter, MisroutedFirstArbiter,
+                               OldestFirstArbiter, Request, make_arbiter)
+from repro.sim.flit import Header
+
+
+def req(in_port, in_vc, msg_id=0, created=0, misrouted=False):
+    hdr = Header(msg_id=msg_id, src=0, dst=1, length=2, created=created)
+    if misrouted:
+        hdr.mark_misrouted()
+    return Request(in_port, in_vc, 0, 0, hdr, True)
+
+
+class TestRoundRobin:
+    def test_single_request(self):
+        a = Arbiter()
+        r = req(0, 0)
+        assert a.choose(0, [r]) is r
+
+    def test_rotation(self):
+        a = Arbiter()
+        r0, r1, r2 = req(0, 0), req(1, 0), req(2, 0)
+        picks = [a.choose(0, [r0, r1, r2]).in_port for _ in range(6)]
+        # pointer advances past each grant: no requester starves
+        assert set(picks) == {0, 1, 2}
+        assert picks[0] != picks[1]
+
+    def test_pointer_is_per_output(self):
+        a = Arbiter()
+        r0, r1 = req(0, 0), req(1, 0)
+        first_on_out0 = a.choose(0, [r0, r1])
+        first_on_out1 = a.choose(1, [r0, r1])
+        assert first_on_out0.in_port == first_on_out1.in_port == 0
+
+    def test_no_starvation_under_contention(self):
+        a = Arbiter()
+        requests = [req(p, v) for p in range(4) for v in range(2)]
+        grants = {(r.in_port, r.in_vc): 0 for r in requests}
+        for _ in range(80):
+            chosen = a.choose(0, requests)
+            grants[(chosen.in_port, chosen.in_vc)] += 1
+        assert min(grants.values()) >= 8  # fair share ~10 each
+
+    def test_empty_requests_rejected(self):
+        with pytest.raises(ValueError):
+            Arbiter().choose(0, [])
+
+
+class TestMisroutedFirst:
+    def test_prefers_misrouted(self):
+        a = MisroutedFirstArbiter()
+        normal = req(0, 0, msg_id=1)
+        detoured = req(3, 1, msg_id=2, misrouted=True)
+        assert a.choose(0, [normal, detoured]) is detoured
+
+    def test_falls_back_to_round_robin(self):
+        a = MisroutedFirstArbiter()
+        r0, r1 = req(0, 0), req(1, 0)
+        assert a.choose(0, [r0, r1]) in (r0, r1)
+
+    def test_round_robin_among_misrouted(self):
+        a = MisroutedFirstArbiter()
+        m0 = req(0, 0, misrouted=True)
+        m1 = req(1, 0, misrouted=True)
+        picks = {a.choose(0, [m0, m1]).in_port for _ in range(4)}
+        assert picks == {0, 1}
+
+
+class TestOldestFirst:
+    def test_prefers_oldest(self):
+        a = OldestFirstArbiter()
+        young = req(0, 0, msg_id=5, created=100)
+        old = req(1, 0, msg_id=3, created=10)
+        assert a.choose(0, [young, old]) is old
+
+    def test_ties_break_by_msg_id(self):
+        a = OldestFirstArbiter()
+        r1 = req(0, 0, msg_id=7, created=10)
+        r2 = req(1, 0, msg_id=3, created=10)
+        assert a.choose(0, [r1, r2]) is r2
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_arbiter("round_robin"), Arbiter)
+        assert isinstance(make_arbiter("misrouted_first"),
+                          MisroutedFirstArbiter)
+        assert isinstance(make_arbiter("oldest_first"), OldestFirstArbiter)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_arbiter("coin_flip")

@@ -1,0 +1,117 @@
+"""Tests for heartbeat-style fault detection latency (the Information
+Units of paper Figure 3)."""
+
+import pytest
+
+from repro.routing import NaftaRouting, XYRouting
+from repro.sim import (FaultSchedule, Mesh2D, Network, SimConfig,
+                       TrafficGenerator)
+
+
+def harsh_net(delay, topo=None, algo=None):
+    topo = topo or Mesh2D(6, 6)
+    return Network(topo, algo or NaftaRouting(),
+                   config=SimConfig(fault_mode="harsh",
+                                    detection_delay=delay))
+
+
+class TestConfig:
+    def test_delay_requires_harsh_mode(self):
+        with pytest.raises(ValueError):
+            SimConfig(fault_mode="quiesce", detection_delay=10)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(fault_mode="harsh", detection_delay=-1)
+
+    def test_zero_delay_aliases_fault_state(self):
+        net = Network(Mesh2D(4, 4), XYRouting(),
+                      config=SimConfig(fault_mode="harsh"))
+        assert net.known_faults is net.faults
+
+    def test_positive_delay_separates_fault_state(self):
+        net = harsh_net(50)
+        assert net.known_faults is not net.faults
+
+
+class TestDetectionWindow:
+    def _run_with_fault(self, delay, fault_cycle=100, cycles=800):
+        topo = Mesh2D(6, 6)
+        net = harsh_net(delay, topo)
+        a, b = topo.node_at(2, 2), topo.node_at(3, 2)
+        sched = FaultSchedule()
+        sched.add_link_fault(fault_cycle, a, b)
+        net.fault_schedule = sched
+        net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.08,
+                                            message_length=4, seed=11))
+        net.run(cycles)
+        net.traffic = None
+        net.run_until_drained()
+        return net
+
+    def test_knowledge_lags_ground_truth(self):
+        topo = Mesh2D(6, 6)
+        net = harsh_net(200, topo)
+        sched = FaultSchedule()
+        sched.add_link_fault(50, topo.node_at(2, 2), topo.node_at(3, 2))
+        net.fault_schedule = sched
+        net.run(100)
+        assert net.faults.n_faults() == 1       # physically dead
+        assert net.known_faults.n_faults() == 0  # not yet detected
+        net.run(200)
+        assert net.known_faults.n_faults() == 1  # heartbeat timed out
+
+    def test_rip_up_deferred_to_confirmation(self):
+        topo = Mesh2D(6, 6)
+        net = harsh_net(300, topo)
+        # a worm long enough to still be crossing the link at the fault
+        m = net.offer(topo.node_at(0, 2), topo.node_at(5, 2), 40)
+        for _ in range(12):
+            net.step()
+        sched = FaultSchedule()
+        sched.add_link_fault(net.cycle, topo.node_at(2, 2),
+                             topo.node_at(3, 2))
+        net.fault_schedule = sched
+        net.run(100)            # within the detection window
+        assert not m.dropped    # the worm stalls, it is not ripped yet
+        net.run(300)
+        assert m.dropped        # confirmation ripped it up
+
+    def test_longer_detection_worsens_tail_latency(self):
+        fast = self._run_with_fault(0)
+        slow = self._run_with_fault(400)
+        assert slow.stats.p99_latency > fast.stats.p99_latency
+        # both account for every message
+        for net in (fast, slow):
+            lost = sum(1 for m in net.messages.values()
+                       if m.dropped and m.delivered is None)
+            assert (net.stats.messages_delivered + lost
+                    == len(net.messages))
+
+    def test_network_recovers_after_confirmation(self):
+        net = self._run_with_fault(150, fault_cycle=100, cycles=1200)
+        assert net.in_flight() == 0
+        # traffic created well after detection routes around the fault
+        assert net.stats.messages_delivered > 0
+
+
+class TestRuleDrivenWithDelay:
+    def test_rule_machine_learns_late(self):
+        """The rule-driven router's engines read the *known* fault set,
+        so their registers update only at confirmation time."""
+        from repro.routing import RuleDrivenNafta
+        topo = Mesh2D(4, 4)
+        algo = RuleDrivenNafta()
+        net = Network(topo, algo,
+                      config=SimConfig(fault_mode="harsh",
+                                       detection_delay=150))
+        sched = FaultSchedule()
+        a, b = topo.node_at(1, 1), topo.node_at(2, 1)
+        sched.add_link_fault(20, a, b)
+        net.fault_schedule = sched
+        net.run(50)   # fault happened, not yet detected
+        usable = algo.engines[a].registers.read("usable_set")
+        assert 0 in usable  # east still believed usable
+        net.run(150)  # detection confirmed
+        usable = algo.engines[a].registers.read("usable_set")
+        assert 0 not in usable

@@ -1,0 +1,118 @@
+"""Unit tests for the fault model."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (FaultEvent, FaultSchedule, FaultState, Hypercube,
+                       Mesh2D, link_key, random_link_faults)
+
+
+class TestFaultState:
+    def test_initially_everything_ok(self):
+        topo = Mesh2D(4, 4)
+        f = FaultState(topo)
+        assert f.n_faults() == 0
+        assert all(f.node_ok(n) for n in topo.nodes())
+        assert all(f.link_ok(a, b) for a, b in topo.links())
+
+    def test_link_fault_is_bidirectional(self):
+        topo = Mesh2D(4, 4)
+        f = FaultState(topo)
+        f.fail_link(5, 6)
+        assert not f.link_ok(5, 6)
+        assert not f.link_ok(6, 5)
+
+    def test_node_fault_kills_its_links(self):
+        topo = Mesh2D(4, 4)
+        f = FaultState(topo)
+        f.fail_node(5)
+        for nb in topo.neighbors(5):
+            assert not f.link_ok(5, nb)
+
+    def test_invalid_link_rejected(self):
+        topo = Mesh2D(4, 4)
+        f = FaultState(topo)
+        with pytest.raises(ValueError):
+            f.fail_link(0, 5)  # not adjacent
+
+    def test_invalid_node_rejected(self):
+        f = FaultState(Mesh2D(4, 4))
+        with pytest.raises(ValueError):
+            f.fail_node(99)
+
+    def test_alive_ports(self):
+        topo = Mesh2D(4, 4)
+        f = FaultState(topo)
+        f.fail_link(0, 1)
+        from repro.sim import EAST, NORTH
+        assert f.alive_ports(0) == [NORTH]
+
+    def test_connectivity(self):
+        topo = Mesh2D(3, 1)  # path 0-1-2
+        f = FaultState(topo)
+        assert f.connected(0, 2)
+        f.fail_node(1)
+        assert not f.connected(0, 2)
+        assert f.connected(0, 0)
+
+    def test_connected_to_dead_node_false(self):
+        topo = Mesh2D(3, 1)
+        f = FaultState(topo)
+        f.fail_node(2)
+        assert not f.connected(0, 2)
+
+    def test_snapshot(self):
+        topo = Mesh2D(4, 4)
+        f = FaultState(topo)
+        f.fail_link(0, 1)
+        f.fail_node(9)
+        links, nodes = f.snapshot()
+        assert links == frozenset({link_key(0, 1)})
+        assert nodes == frozenset({9})
+
+
+class TestFaultSchedule:
+    def test_static_applies_at_zero(self):
+        s = FaultSchedule.static(links=[(0, 1)], nodes=[5])
+        assert len(s.due(0)) == 2
+        assert s.due(1) == []
+
+    def test_add_and_due(self):
+        s = FaultSchedule()
+        s.add_link_fault(100, 3, 4).add_node_fault(200, 7)
+        assert [e.kind for e in s.due(100)] == ["link"]
+        assert [e.kind for e in s.due(200)] == ["node"]
+        assert s.last_cycle() == 200
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(0, "gamma_ray", 3)
+
+
+class TestRandomLinkFaults:
+    @pytest.mark.parametrize("n", [1, 4, 8])
+    def test_preserves_connectivity(self, n):
+        topo = Mesh2D(6, 6)
+        rng = np.random.default_rng(n)
+        links = random_link_faults(topo, n, rng)
+        assert len(links) == n
+        assert len(set(links)) == n
+        f = FaultState(topo)
+        for a, b in links:
+            f.fail_link(a, b)
+        alive = list(topo.nodes())
+        for dst in alive[1:]:
+            assert f.connected(alive[0], dst)
+
+    def test_works_on_hypercube(self):
+        topo = Hypercube(4)
+        rng = np.random.default_rng(1)
+        links = random_link_faults(topo, 6, rng)
+        assert len(links) == 6
+
+    def test_impossible_request_raises(self):
+        topo = Mesh2D(2, 1)  # a single link
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError):
+            random_link_faults(topo, 1, rng, keep_connected=True,
+                               max_tries=50)

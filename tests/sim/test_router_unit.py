@@ -1,0 +1,126 @@
+"""Granular unit tests of the router mechanics (flow control, VC
+allocation, crossbar constraints)."""
+
+import pytest
+
+from repro.routing import XYRouting
+from repro.sim import EAST, LOCAL, Mesh2D, Network, SimConfig, WEST
+from repro.sim.router import ACTIVE, IDLE, ROUTED
+
+
+def two_node_net(buffer_depth=2):
+    """A 2x1 mesh: node 0 --- node 1."""
+    return Network(Mesh2D(2, 1), XYRouting(),
+                   config=SimConfig(buffer_depth=buffer_depth))
+
+
+class TestFlowControl:
+    def test_credits_reflect_downstream_space(self):
+        net = two_node_net(buffer_depth=3)
+        r0 = net.routers[0]
+        assert r0.credits(EAST, 0) == 3
+        # stage a flit into node 1's west input buffer
+        net.offer(0, 1, 1)
+        net.step()  # inject
+        net.step()  # head moves into node 0's local buffer; decision
+        # run until the flit sits in node 1's buffer
+        net.run_until_drained()
+        assert r0.credits(EAST, 0) == 3  # drained again
+
+    def test_local_credits_unbounded(self):
+        net = two_node_net()
+        assert net.routers[0].credits(LOCAL, 0) > 10 ** 6
+
+    def test_output_free_checks_owner_and_credit(self):
+        net = two_node_net()
+        r0 = net.routers[0]
+        assert r0.output_free(EAST, 0)
+        r0.output_vcs[EAST][0].owner = (LOCAL, 0)
+        assert not r0.output_free(EAST, 0)
+
+    def test_buffer_never_exceeds_capacity_under_pressure(self):
+        net = Network(Mesh2D(3, 1), XYRouting(),
+                      config=SimConfig(buffer_depth=1))
+        # many worms all heading east through the middle node
+        for _ in range(5):
+            net.offer(0, 2, 4)
+        for _ in range(60):
+            net.step()
+            for r in net.routers:
+                for vcs in r.input_vcs.values():
+                    for iv in vcs:
+                        assert len(iv.buffer) + len(iv.incoming) <= 1
+        net.run_until_drained()
+
+
+class TestVcAllocation:
+    def test_worm_holds_vc_until_tail(self):
+        net = two_node_net(buffer_depth=8)
+        net.offer(0, 1, 4)
+        r0 = net.routers[0]
+        held_cycles = 0
+        for _ in range(20):
+            net.step()
+            if r0.output_vcs[EAST][0].owner is not None:
+                held_cycles += 1
+        assert held_cycles >= 3  # held while body/tail streamed
+        assert r0.output_vcs[EAST][0].owner is None  # released by tail
+
+    def test_second_worm_waits_for_vc(self):
+        net = two_node_net(buffer_depth=8)
+        m1 = net.offer(0, 1, 6)
+        m2 = net.offer(0, 1, 2)
+        net.run_until_drained()
+        assert m1.delivered < m2.delivered  # strictly after
+
+    def test_input_vc_state_machine(self):
+        net = two_node_net(buffer_depth=8)
+        net.offer(0, 1, 3)
+        r0 = net.routers[0]
+        iv = r0.input_vcs[LOCAL][0]
+        assert iv.state == IDLE
+        seen = set()
+        for _ in range(15):
+            net.step()
+            seen.add(iv.state)
+        assert ACTIVE in seen
+        assert iv.state == IDLE  # back to idle after the tail left
+
+
+class TestCrossbarConstraints:
+    def test_one_flit_per_output_per_cycle(self):
+        # two worms from opposite sides both ejecting at the middle node
+        net = Network(Mesh2D(3, 1), XYRouting(),
+                      config=SimConfig(buffer_depth=4))
+        ejected_per_cycle = []
+        orig = net.eject
+
+        def spy(node, flit, cycle):
+            ejected_per_cycle.append(cycle)
+            orig(node, flit, cycle)
+
+        net.eject = spy
+        net.offer(0, 1, 5)
+        net.offer(2, 1, 5)
+        net.run_until_drained()
+        from collections import Counter
+        per_cycle = Counter(ejected_per_cycle)
+        assert max(per_cycle.values()) == 1  # the local port serializes
+
+    def test_purge_message_resets_state(self):
+        net = two_node_net(buffer_depth=8)
+        m = net.offer(0, 1, 10)
+        for _ in range(4):
+            net.step()
+        total_before = sum(r.occupancy() for r in net.routers)
+        assert total_before > 0
+        for r in net.routers:
+            r.purge_message(m.header.msg_id)
+        assert all(r.occupancy() == 0 for r in net.routers)
+        for r in net.routers:
+            for vcs in r.input_vcs.values():
+                for iv in vcs:
+                    assert iv.state == IDLE
+            for vcs in r.output_vcs.values():
+                for ov in vcs:
+                    assert ov.owner is None

@@ -1,0 +1,132 @@
+"""Unit tests for traffic patterns and generators."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Hypercube, Mesh2D, TrafficGenerator, Torus2D
+from repro.sim.traffic import (PATTERNS, bit_complement_pattern,
+                               bit_reverse_pattern,
+                               dimension_reverse_pattern, hotspot_pattern,
+                               neighbor_pattern, permutation_pattern,
+                               transpose_pattern, uniform_pattern)
+
+
+class TestPatterns:
+    def test_uniform_never_self(self):
+        topo = Mesh2D(4, 4)
+        rng = np.random.default_rng(0)
+        dest = uniform_pattern(topo, rng)
+        for src in topo.nodes():
+            for _ in range(20):
+                assert dest(src) != src
+
+    def test_uniform_covers_all_destinations(self):
+        topo = Mesh2D(4, 4)
+        rng = np.random.default_rng(1)
+        dest = uniform_pattern(topo, rng)
+        seen = {dest(0) for _ in range(600)}
+        assert seen == set(range(1, 16))
+
+    def test_transpose(self):
+        topo = Mesh2D(4, 4)
+        dest = transpose_pattern(topo)
+        assert dest(topo.node_at(1, 3)) == topo.node_at(3, 1)
+        assert dest(topo.node_at(2, 2)) == topo.node_at(2, 2)
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            transpose_pattern(Mesh2D(4, 3))
+
+    def test_bit_complement(self):
+        topo = Mesh2D(4, 4)
+        dest = bit_complement_pattern(topo)
+        assert dest(0) == 15
+        assert dest(0b0101) == 0b1010
+
+    def test_bit_complement_needs_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_complement_pattern(Mesh2D(3, 4))
+
+    def test_bit_reverse(self):
+        topo = Mesh2D(4, 4)  # 16 nodes, 4 bits
+        dest = bit_reverse_pattern(topo)
+        assert dest(0b0001) == 0b1000
+        assert dest(0b1100) == 0b0011
+
+    def test_hotspot_bias(self):
+        topo = Mesh2D(4, 4)
+        rng = np.random.default_rng(2)
+        dest = hotspot_pattern(topo, rng, hotspot=5, fraction=0.5)
+        hits = sum(1 for _ in range(1000) if dest(0) == 5)
+        assert hits > 350  # ~50% + uniform share
+
+    def test_neighbor_pattern_distance_one(self):
+        topo = Mesh2D(5, 5)
+        rng = np.random.default_rng(3)
+        dest = neighbor_pattern(topo, rng)
+        for src in topo.nodes():
+            assert topo.distance(src, dest(src)) == 1
+
+    def test_permutation_is_derangement(self):
+        topo = Mesh2D(4, 4)
+        rng = np.random.default_rng(4)
+        dest = permutation_pattern(topo, rng)
+        targets = [dest(s) for s in topo.nodes()]
+        assert sorted(targets) == list(topo.nodes())
+        assert all(t != s for s, t in enumerate(targets))
+
+    def test_dimension_reverse_on_cube(self):
+        topo = Hypercube(4)
+        dest = dimension_reverse_pattern(topo)
+        assert dest(0b0011) == 0b1100
+
+    def test_pattern_registry_complete(self):
+        topo = Mesh2D(4, 4)
+        rng = np.random.default_rng(5)
+        for name, factory in PATTERNS.items():
+            if name == "dimension_reverse":
+                continue  # cube only
+            fn = factory(topo, rng)
+            d = fn(0)
+            assert 0 <= d < 16
+
+
+class TestGenerator:
+    def test_rate_close_to_load(self):
+        topo = Mesh2D(4, 4)
+        gen = TrafficGenerator(topo, "uniform", load=0.2, message_length=4,
+                               seed=6)
+        msgs = sum(len(gen.tick(c)) for c in range(2000))
+        flits = msgs * 4
+        offered = flits / (2000 * 16)
+        assert offered == pytest.approx(0.2, rel=0.1)
+
+    def test_seeded_reproducibility(self):
+        topo = Mesh2D(4, 4)
+        a = TrafficGenerator(topo, "uniform", load=0.3, seed=7)
+        b = TrafficGenerator(topo, "uniform", load=0.3, seed=7)
+        for c in range(50):
+            assert a.tick(c) == b.tick(c)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(Mesh2D(2, 2), "uniform", load=1.5)
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(Mesh2D(2, 2), "nope")
+
+    def test_zero_load_generates_nothing(self):
+        gen = TrafficGenerator(Mesh2D(4, 4), "uniform", load=0.0, seed=1)
+        assert all(not gen.tick(c) for c in range(100))
+
+    def test_torus_patterns_work(self):
+        gen = TrafficGenerator(Torus2D(4, 4), "transpose", load=0.5, seed=2)
+        out = []
+        for c in range(50):
+            out.extend(gen.tick(c))
+        assert out
+        topo = gen.topology
+        for src, dst, length in out:
+            x, y = topo.coords(src)
+            assert topo.coords(dst) == (y, x)

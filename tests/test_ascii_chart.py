@@ -1,0 +1,37 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import line_chart
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        out = line_chart({"a": [(0, 0), (1, 10)]}, title="T")
+        assert out.startswith("T")
+        assert "*" in out
+        assert "[*=a]" in out
+
+    def test_two_series_distinct_markers(self):
+        out = line_chart({"a": [(0, 1)], "b": [(1, 2)]})
+        assert "*" in out and "o" in out
+        assert "*=a" in out and "o=b" in out
+
+    def test_empty_data(self):
+        out = line_chart({"a": []}, title="T")
+        assert "(no data)" in out
+
+    def test_log_scale_skips_nonpositive(self):
+        out = line_chart({"a": [(0, 0), (1, 100)]}, y_log=True)
+        assert "(log y)" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = line_chart({"a": [(0, 5), (1, 5), (2, 5)]})
+        grid = "\n".join(l for l in out.splitlines() if "|" in l)
+        assert grid.count("*") == 3
+
+    def test_extremes_on_borders(self):
+        out = line_chart({"a": [(0, 0), (10, 100)]}, width=20, height=5)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[0].rstrip().endswith("*|")   # max in top-right
+        assert "|*" in lines[-1]                  # min in bottom-left

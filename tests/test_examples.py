@@ -1,0 +1,27 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; if they break, the quickstart
+breaks.  Each is run in-process (same interpreter, ~seconds each).
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "mesh_fault_tolerance", "hypercube_route_c",
+            "custom_rule_algorithm", "decision_time_study",
+            "rule_machine_router"} <= names

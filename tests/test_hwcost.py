@@ -1,0 +1,90 @@
+"""Tests for the hardware-cost reporting layer."""
+
+import pytest
+
+from repro.experiments import PAPER_TABLE1
+from repro.hwcost import (CostReport, cost_report, render_registers,
+                          render_table1, render_table2)
+
+
+@pytest.fixture(scope="module")
+def nafta_report():
+    return cost_report("nafta")
+
+
+@pytest.fixture(scope="module")
+def route_c_report():
+    return cost_report("route_c", {"d": 6, "a": 2})
+
+
+class TestCostReport:
+    def test_rows_sorted_by_size(self, nafta_report):
+        sizes = [r.size_bits for r in nafta_report.rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_row_inventory_matches_paper(self, nafta_report):
+        assert {r.name for r in nafta_report.rows} == set(PAPER_TABLE1)
+
+    def test_totals_consistent(self, nafta_report):
+        assert nafta_report.total_table_bits == sum(
+            r.size_bits for r in nafta_report.rows)
+        assert (nafta_report.nft_table_bits
+                + nafta_report.ft_only_table_bits
+                == nafta_report.total_table_bits)
+
+    def test_ft_fraction_bounds(self, nafta_report, route_c_report):
+        for rep in (nafta_report, route_c_report):
+            assert 0.0 < rep.ft_overhead_fraction() < 1.0
+
+    def test_register_ft_classification(self, route_c_report):
+        regs = {r.name: r for r in route_c_report.registers}
+        assert regs["state"].ft_only          # only update_state touches it
+        assert not regs["adapt_reg"].ft_only  # the nft adaptivity base writes
+
+    def test_materialize_false_still_reports(self):
+        rep = cost_report("route_c_merged", {"d": 8}, materialize=False)
+        assert rep.total_table_bits > 0
+
+    def test_fcfb_text(self, nafta_report):
+        row = {r.name: r for r in nafta_report.rows}["tell_my_neighbors"]
+        assert row.fcfb_text() == "no FCFB needed"
+        inc = {r.name: r for r in nafta_report.rows}["incoming_message"]
+        assert "magnitude comparator" in inc.fcfb_text()
+
+
+class TestFcfbPool:
+    def test_pool_is_per_kind_max(self, nafta_report):
+        pool = nafta_report.fcfb_pool()
+        for row in nafta_report.rows:
+            for kind, n in row.fcfbs.items():
+                assert pool[kind] >= n
+
+    def test_pool_smaller_than_unshared(self, nafta_report):
+        assert (sum(nafta_report.fcfb_pool().values())
+                < nafta_report.fcfb_unshared_total())
+
+    def test_pool_rendered(self, nafta_report):
+        from repro.hwcost import render_table1
+        assert "shared FCFB pool" in render_table1(nafta_report)
+
+
+class TestRendering:
+    def test_table1_mentions_paper_sizes(self, nafta_report):
+        text = render_table1(nafta_report)
+        assert "1024 x 8" in text       # the paper's incoming_message
+        assert "ft share" in text
+
+    def test_table2_quotes_paper_total(self, route_c_report):
+        text = render_table2(route_c_report)
+        assert "2960" in text
+        assert "decide_dir" in text
+
+    def test_register_rendering(self, nafta_report):
+        text = render_registers(nafta_report)
+        assert "usable_set" in text
+        assert "only for fault tolerance" in text
+
+    def test_table2_nondefault_params_no_paper_note(self):
+        rep = cost_report("route_c", {"d": 4, "a": 1})
+        text = render_table2(rep)
+        assert "2960" not in text  # the quote applies to d=6, a=2 only
