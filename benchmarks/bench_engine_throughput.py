@@ -1,0 +1,228 @@
+"""Engine and simulator throughput: the compiled fast path vs the
+interpreted reference, and active-router scheduling vs the full scan.
+
+Two layers of the same story (paper Section 4.3, "software solutions
+would limit the network performance drastically"):
+
+* **decisions/sec** — the NAFTA ``incoming_message`` rule base invoked
+  through the :class:`~repro.core.compiler.fastpath.DecisionKernel`
+  (extractor closures + prebaked strides + code-tuple memo) against the
+  same table executed by the interpreted pipeline (``fastpath=False``,
+  one ``eval_expr`` AST walk per premise);
+* **cycles/sec** — a full wormhole simulation with and without
+  ``SimConfig.active_scheduling`` (only routers holding flits are
+  iterated; both settings are cycle-accurate and bit-identical).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+
+Results land in ``BENCH_engine.json`` (see ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.routing.registry import make_algorithm
+from repro.routing.rulesets.loader import load_ruleset
+from repro.sim.config import SimConfig
+from repro.sim.flit import reset_message_ids
+from repro.sim.network import Network
+from repro.sim.topology import Mesh2D
+from repro.sim.traffic import TrafficGenerator
+
+WIDTH = HEIGHT = 8
+QMAX = 63
+
+
+# ---------------------------------------------------------------------------
+# decision throughput (rule engine)
+# ---------------------------------------------------------------------------
+
+def decision_cases() -> list[tuple[dict, int, int]]:
+    """(inputs, indir, vn) triples mirroring RuleDrivenNafta's
+    ``_decision_inputs``: canonical tuple-keyed dicts, varied positions,
+    destinations and loads so the code-tuple memo sees a realistic mix
+    rather than one endlessly repeated decision."""
+    cases = []
+    full = frozenset({0, 1, 2, 3})
+    pairs = [((0, 0), (7, 7)), ((3, 4), (3, 0)), ((5, 2), (1, 2)),
+             ((7, 7), (0, 0)), ((2, 6), (2, 7)), ((4, 4), (6, 1)),
+             ((1, 3), (1, 3)), ((6, 0), (0, 5))]
+    for i, ((x, y), (dx, dy)) in enumerate(pairs):
+        vn = 1 if dy > y else 0
+        for indir in (4, 0, 2):
+            load = (7 * i + 3 * indir) % QMAX
+            oq = {(d,): (load + d) % QMAX for d in range(4)}
+            inputs = {
+                "xpos": x, "ypos": y, "xdes": dx, "ydes": dy, "vnin": vn,
+                "termin": "false", "sdirin": 0, "fault_present": "false",
+                "freemask": {(vc,): full for vc in range(2)}, "oq": oq,
+                "samecol": "true" if x == dx else "false",
+                "runok": "true", "mlen": 6,
+                "info_kind": "load_info", "info_val": 0, "fault_kind": 0,
+            }
+            cases.append((inputs, indir, vn))
+    return cases
+
+
+def make_engine(fastpath: bool):
+    return load_ruleset("nafta", {"xsize": WIDTH, "ysize": HEIGHT,
+                                  "qmax": QMAX, "rmax": 7},
+                        fastpath=fastpath)
+
+
+def time_decisions(engine, cases, repeats: int) -> float:
+    """Seconds for ``repeats`` passes over the case list."""
+    call = engine.call
+    set_inputs = engine.set_inputs
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        for inputs, indir, vn in cases:
+            set_inputs(inputs, trusted=True)
+            call("incoming_message", indir, vn)
+    dt = time.perf_counter() - t0
+    engine.events.log.clear()
+    return dt
+
+
+def bench_decisions(repeats: int, rounds: int) -> dict:
+    cases = decision_cases()
+    fast = make_engine(fastpath=True)
+    legacy = make_engine(fastpath=False)
+    # warmup: compile kernels / fill memos outside the timed region
+    time_decisions(fast, cases, 1)
+    time_decisions(legacy, cases, 1)
+    best_fast = min(time_decisions(fast, cases, repeats)
+                    for _ in range(rounds))
+    best_legacy = min(time_decisions(legacy, cases, repeats)
+                      for _ in range(rounds))
+    n = repeats * len(cases)
+    return {
+        "decisions": n,
+        "fastpath_decisions_per_sec": n / best_fast,
+        "legacy_decisions_per_sec": n / best_legacy,
+        "decision_speedup": best_legacy / best_fast,
+    }
+
+
+# ---------------------------------------------------------------------------
+# simulation throughput (network)
+# ---------------------------------------------------------------------------
+
+def time_sim(active: bool, cycles: int, load: float) -> tuple[float, dict]:
+    reset_message_ids()
+    topo = Mesh2D(WIDTH, HEIGHT)
+    net = Network(topo, make_algorithm("nafta"),
+                  config=SimConfig(active_scheduling=active))
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=load,
+                                        message_length=6, seed=11))
+    t0 = time.perf_counter()
+    net.run(cycles)
+    dt = time.perf_counter() - t0
+    return dt, net.stats.summary(topo.n_nodes)
+
+
+def bench_sim(cycles: int, rounds: int, load: float) -> dict:
+    runs_on = []
+    runs_off = []
+    summary_on = summary_off = None
+    for _ in range(rounds):
+        dt, summary_on = time_sim(True, cycles, load)
+        runs_on.append(dt)
+        dt, summary_off = time_sim(False, cycles, load)
+        runs_off.append(dt)
+    assert summary_on == summary_off, \
+        "active scheduling changed simulation results"
+    best_on, best_off = min(runs_on), min(runs_off)
+    return {
+        "cycles": cycles,
+        "load": load,
+        "active_cycles_per_sec": cycles / best_on,
+        "full_scan_cycles_per_sec": cycles / best_off,
+        "sim_speedup": best_off / best_on,
+        "results_identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# end-to-end latency/load sweep vs the seed implementation
+# ---------------------------------------------------------------------------
+
+#: wall-clock of benchmarks/bench_latency_load.py run() at the growth
+#: seed (commit 2f8009c), measured on the reference machine the current
+#: number is measured on — the denominator of the tracked speedup
+SEED_LATENCY_SWEEP_S = 28.70
+
+
+def bench_latency_sweep(rounds: int = 3) -> dict:
+    try:
+        from benchmarks.bench_latency_load import run as sweep
+    except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+        from bench_latency_load import run as sweep
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        sweep()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return {
+        "seed_wallclock_s": SEED_LATENCY_SWEEP_S,
+        "current_wallclock_s": best,
+        "speedup_vs_seed": SEED_LATENCY_SWEEP_S / best,
+    }
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def run(quick: bool = False) -> dict:
+    if quick:
+        decisions = bench_decisions(repeats=50, rounds=2)
+        sim_low = bench_sim(cycles=300, rounds=1, load=0.04)
+        sim_mod = bench_sim(cycles=300, rounds=1, load=0.2)
+    else:
+        decisions = bench_decisions(repeats=400, rounds=5)
+        sim_low = bench_sim(cycles=2000, rounds=3, load=0.04)
+        sim_mod = bench_sim(cycles=2000, rounds=3, load=0.2)
+    report = {
+        "mesh": f"{WIDTH}x{HEIGHT}",
+        "quick": quick,
+        "decision_throughput": decisions,
+        # at low load most routers are idle most cycles — the active-set
+        # scan's home turf; at saturation both settings do similar work
+        "simulation_throughput_low_load": sim_low,
+        "simulation_throughput_moderate_load": sim_mod,
+    }
+    if not quick:
+        report["latency_load_sweep"] = bench_latency_sweep()
+    return report
+
+
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small repeat counts (CI smoke test)")
+    ap.add_argument("--out", default=None,
+                    help="write the JSON report here (default: "
+                         "BENCH_engine.json next to the repo root; "
+                         "'-' prints to stdout only)")
+    args = ap.parse_args(argv)
+    report = run(quick=args.quick)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out != "-":
+        import pathlib
+        out = pathlib.Path(args.out) if args.out else \
+            pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,7 @@ symbols, ``frozenset`` for subset-domain values.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator
 
 from .errors import SemanticError
@@ -121,12 +122,18 @@ class SymbolDomain(Domain):
     def size(self) -> int:
         return len(self.symbols)
 
+    @cached_property
+    def _index(self) -> dict[str, int]:
+        # cached_property writes straight into __dict__, which is legal
+        # on a frozen dataclass and keeps contains/encode O(1)
+        return {s: i for i, s in enumerate(self.symbols)}
+
     def contains(self, value: Value) -> bool:
-        return isinstance(value, str) and value in self.symbols
+        return isinstance(value, str) and value in self._index
 
     def encode(self, value: Value) -> int:
         self.check(value)
-        return self.symbols.index(value)  # type: ignore[arg-type]
+        return self._index[value]  # type: ignore[index]
 
     def decode(self, code: int) -> str:
         return self.symbols[code]
@@ -207,12 +214,23 @@ class SetDomain(Domain):
     def bit_width(self) -> int:
         return self.base.size
 
+    @cached_property
+    def _enc_memo(self) -> dict[frozenset, int]:
+        return {}
+
     def encode(self, value: Value) -> int:
-        self.check(value)
-        mask = 0
-        for i, v in enumerate(self.base.values()):
-            if v in value:  # type: ignore[operator]
-                mask |= 1 << i
+        memo = self._enc_memo
+        try:
+            mask = memo.get(value)
+        except TypeError:  # unhashable junk: let check() diagnose it
+            mask = None
+        if mask is None:
+            self.check(value)
+            mask = 0
+            for i, v in enumerate(self.base.values()):
+                if v in value:  # type: ignore[operator]
+                    mask |= 1 << i
+            memo[value] = mask  # type: ignore[index]
         return mask
 
     def decode(self, code: int) -> frozenset:

@@ -39,7 +39,8 @@ class RuleEngine:
                  mode: str = "table",
                  coerce: str = "saturate",
                  delays: DelayModel = DEFAULT_DELAYS,
-                 materialize: bool = True):
+                 materialize: bool = True,
+                 fastpath: bool = True):
         if mode not in ("table", "ast"):
             raise ValueError(f"unknown mode {mode!r}")
         if isinstance(program, CompiledProgram):
@@ -53,8 +54,13 @@ class RuleEngine:
         self.registers = RegisterFile(self.analyzed, coerce=coerce)
         self.functions: dict[str, FunctionImpl] = dict(functions or {})
         self._inputs = make_input_reader({})
+        self._inputs_map = getattr(self._inputs, "mapping", None)
+        self._cached_env: Env | None = None
         self._ast = AstInterpreter(self.analyzed)
-        self._rbr = RbrInterpreter(self.compiled)
+        self._rbr = RbrInterpreter(self.compiled, fastpath=fastpath)
+        # per-base decision kernels, resolved once per name (table mode
+        # with fastpath only); skips the base lookup on every call
+        self._kernels: dict[str, object] = {}
         self.events = EventManager(
             rulebase_names=set(self.analyzed.rulebases),
             event_names=set(self.analyzed.events),
@@ -67,19 +73,39 @@ class RuleEngine:
             raise EvalError(f"{name!r} is not a declared FUNCTION")
         self.functions[name] = impl
 
-    def set_inputs(self, source) -> None:
-        """Attach the hardware input source (mapping or callable)."""
-        self._inputs = make_input_reader(source)
+    def set_inputs(self, source, *, trusted: bool = False) -> None:
+        """Attach the hardware input source (mapping or callable).
+
+        ``trusted=True`` promises the mapping is already canonical
+        (indexed inputs keyed by tuples only) and skips normalization;
+        see :func:`make_input_reader`.
+        """
+        self._inputs = make_input_reader(source, trusted=trusted)
+        self._inputs_map = getattr(self._inputs, "mapping", None)
+        # the cached base environment is refreshed in place: its other
+        # fields (registers, functions, subbase caller) are identity-
+        # stable for the engine's lifetime, and keeping the env object
+        # itself stable lets the decision kernels cache per-args call
+        # environments against it
+        env = self._cached_env
+        if env is not None:
+            env.inputs = self._inputs
+            env.inputs_map = self._inputs_map
 
     # -- execution ------------------------------------------------------------
 
     def _env(self) -> Env:
-        env = Env(self.analyzed, self.registers, {}, self._inputs,
-                  self.functions)
-        if self.mode == "ast":
-            env.call_subbase = self._ast.subbase_caller(env)
-        else:
-            env.call_subbase = self._rbr.subbase_caller(env)
+        # built once per engine; set_inputs swaps the inputs fields in
+        # place (everything else is mutated in place, never replaced)
+        env = self._cached_env
+        if env is None:
+            env = Env(self.analyzed, self.registers, {}, self._inputs,
+                      self.functions, None, self._inputs_map)
+            if self.mode == "ast":
+                env.call_subbase = self._ast.subbase_caller(env)
+            else:
+                env.call_subbase = self._rbr.subbase_caller(env)
+            self._cached_env = env
         return env
 
     def _invoke(self, base_name: str, args: tuple[Value, ...]
@@ -91,14 +117,23 @@ class RuleEngine:
             if info is None:
                 raise EvalError(f"unknown rule base {base_name!r}")
             return self._ast.invoke(info, args, env)
-        return self._rbr.invoke(self.compiled.base(base_name), args, env)
+        rbr = self._rbr
+        if rbr.fastpath:
+            kern = self._kernels.get(base_name)
+            if kern is None:
+                kern = rbr.kernel(self.compiled.base(base_name))
+                self._kernels[base_name] = kern
+            return kern.invoke(args, env, rbr._subbase_runner)
+        return rbr.invoke(self.compiled.base(base_name), args, env)
 
     def call(self, base_name: str, *args: Value) -> InvocationResult:
         """Invoke one rule base directly (one interpretation step)."""
-        res = self._invoke(base_name, tuple(args))
-        self.events.counter.count(base_name)
-        self.events.log.append(res)
-        self.events._route_emissions(res.emissions)
+        res = self._invoke(base_name, args)
+        events = self.events
+        events.counter.count(base_name)
+        events.log.append(res)
+        if res.emissions:
+            events._route_emissions(res.emissions)
         return res
 
     def decide(self, base_name: str, *args: Value) -> Value:

@@ -24,15 +24,49 @@ FunctionImpl = Callable[..., Value]
 SubbaseCaller = Callable[[str, tuple[Value, ...]], Value]
 
 
-def make_input_reader(source) -> InputReader:
+def make_input_reader(source, *, trusted: bool = False) -> InputReader:
     """Normalize an input source to a reader callable.
 
     Accepts a callable ``(name, idx_tuple) -> value`` or a mapping
-    ``name -> value`` / ``name -> {idx_tuple: value}``.
+    ``name -> value`` / ``name -> {idx_tuple: value}``.  Index keys may
+    be given as bare scalars for 1-D inputs (``{0: x}`` instead of
+    ``{(0,): x}``); they are canonicalized to tuples here, once, so the
+    per-read lookup is a single dict access and a scalar key can never
+    silently shadow (or be shadowed by) its 1-tuple spelling.
+
+    ``trusted=True`` skips the canonicalization scan and uses a mapping
+    source as-is.  The caller warrants that every indexed input is a
+    dict keyed exclusively by tuples; use it only on the hot path of a
+    producer that builds its input dicts in canonical form (the router
+    simulator does, per decision).
     """
     if callable(source):
         return source
-    mapping = dict(source or {})
+    if trusted:
+        mapping: dict[str, Value | dict[tuple[Value, ...], Value]] = \
+            source if source is not None else {}
+    else:
+        mapping = {}
+        for name, v in (source or {}).items():
+            if not isinstance(v, dict):
+                mapping[name] = v
+                continue
+            for k in v:
+                if type(k) is not tuple:
+                    break
+            else:
+                mapping[name] = v  # already canonical; share, don't copy
+                continue
+            table: dict[tuple[Value, ...], Value] = {}
+            for key, value in v.items():
+                canon = key if isinstance(key, tuple) else (key,)
+                if canon in table and table[canon] != value:
+                    raise EvalError(
+                        f"input {name!r} supplies conflicting values for "
+                        f"index {canon!r} (scalar and tuple spellings of "
+                        f"the same key)")
+                table[canon] = value
+            mapping[name] = table
 
     def read(name: str, idx: tuple[Value, ...]) -> Value:
         if name not in mapping:
@@ -42,20 +76,23 @@ def make_input_reader(source) -> InputReader:
             if not isinstance(v, dict):
                 raise EvalError(f"input {name!r} is indexed but a scalar "
                                 f"value was supplied")
-            if idx in v:
+            try:
                 return v[idx]
-            if len(idx) == 1 and idx[0] in v:
-                return v[idx[0]]
-            raise EvalError(f"input {name!r} has no value at index {idx!r}")
+            except KeyError:
+                raise EvalError(f"input {name!r} has no value at index "
+                                f"{idx!r}") from None
         if isinstance(v, dict):
             raise EvalError(f"input {name!r} is scalar but an indexed "
                             f"value table was supplied")
         return v
 
+    # the compiled fast path reads mapping-backed inputs directly (see
+    # Env.inputs_map); callable sources have no mapping to expose
+    read.mapping = mapping  # type: ignore[attr-defined]
     return read
 
 
-@dataclass
+@dataclass(slots=True)
 class Env:
     """Runtime environment of one rule-base invocation."""
 
@@ -65,12 +102,15 @@ class Env:
     inputs: InputReader = field(default_factory=lambda: make_input_reader({}))
     functions: dict[str, FunctionImpl] = field(default_factory=dict)
     call_subbase: SubbaseCaller | None = None
+    #: when ``inputs`` is mapping-backed, the canonicalized mapping
+    #: itself — compiled closures read it without the reader indirection
+    inputs_map: dict | None = None
 
     def bind(self, extra: dict[str, Value]) -> "Env":
         merged = dict(self.params)
         merged.update(extra)
         return Env(self.analyzed, self.registers, merged, self.inputs,
-                   self.functions, self.call_subbase)
+                   self.functions, self.call_subbase, self.inputs_map)
 
 
 def to_bool(v: Value, line: int = 0) -> bool:

@@ -5,6 +5,19 @@ way the hardware does (paper Figure 5): premise processing computes the
 feature values (direct signal encodings and FCFB bits), their
 concatenation indexes the completely-filled rule table, and the selected
 entry drives conclusion processing.
+
+Two execution strategies share this class:
+
+* ``fastpath=True`` (default) runs each base through a lazily built
+  :class:`~repro.core.compiler.fastpath.DecisionKernel`: premise
+  features compiled to extractor closures, mixed-radix strides prebaked,
+  table entries memoised on the feature-code tuple, and conclusions
+  compiled to command closures.  No AST traversal on the hot path.
+* ``fastpath=False`` keeps the original interpreted pipeline that walks
+  the premise and conclusion ASTs through :func:`eval_expr` on every
+  invocation.  It is retained as the seed reference that the throughput
+  benchmark measures speedups against, and as a third point of the
+  table/AST differential tests.
 """
 
 from __future__ import annotations
@@ -13,18 +26,32 @@ from ..dsl.domains import Value
 from ..dsl.errors import EvalError
 from ..compiler.atoms import BitFeature, DirectFeature
 from ..compiler.compile import CompiledProgram, CompiledRuleBase
+from ..compiler.fastpath import DecisionKernel
 from ..compiler.tablegen import NO_RULE
 from .evaluator import Env, eval_expr, to_bool
 from .execution import InvocationResult, _Effects, apply_effects, gather_effects
 
 
 class RbrInterpreter:
-    def __init__(self, compiled: CompiledProgram):
+    def __init__(self, compiled: CompiledProgram, fastpath: bool = True):
         self.compiled = compiled
         self.analyzed = compiled.analyzed
+        self.fastpath = fastpath
+        self._kernels: dict[str, DecisionKernel] = {}
+
+    def kernel(self, base: CompiledRuleBase) -> DecisionKernel:
+        """The compiled decision kernel for one base (built lazily and
+        cached; extractors and strides are reused across invocations)."""
+        k = self._kernels.get(base.name)
+        if k is None:
+            k = DecisionKernel(base, self.analyzed)
+            self._kernels[base.name] = k
+        return k
 
     def compute_index(self, base: CompiledRuleBase, env: Env) -> int:
         """Premise processing: one mixed-radix index from the features."""
+        if self.fastpath:
+            return self.kernel(base).index(env)
         codes: list[int] = []
         for feat in base.analysis.features:
             if isinstance(feat, DirectFeature):
@@ -37,6 +64,8 @@ class RbrInterpreter:
 
     def invoke(self, base: CompiledRuleBase, args: tuple[Value, ...],
                env: Env) -> InvocationResult:
+        if self.fastpath:
+            return self.kernel(base).invoke(args, env, self._subbase_runner)
         if base.table is None:
             raise EvalError(f"rule base {base.name!r} was compiled without "
                             f"a materialized table; recompile with "

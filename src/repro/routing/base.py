@@ -64,6 +64,13 @@ class RoutingAlgorithm:
     #: True if the algorithm handles faults (otherwise it is an "nft"
     #: algorithm in the paper's terminology)
     fault_tolerant: bool = False
+    #: True if ``route`` consults dynamic network state (loads, queue
+    #: occupancy), so a blocked head's candidate list must be refreshed
+    #: every cycle.  Deterministic schemes (the decision depends only on
+    #: source/destination and the fault knowledge) set this False and
+    #: are re-routed only when the fault knowledge changes (the
+    #: network's ``route_epoch`` advances).
+    adaptive: bool = True
 
     # -- lifecycle -------------------------------------------------------
 
@@ -118,5 +125,7 @@ def order_by_adaptivity(candidates: list[tuple[int, int]],
     data still assigned to it (the NAFTA criterion — the amount of data
     that still has to pass a node, approximated by downstream queue
     occupancy plus committed worm remainders)."""
+    if len(candidates) < 2:
+        return candidates
     return sorted(candidates,
                   key=lambda pv: (router.output_load(pv[0]), pv[0], pv[1]))

@@ -23,6 +23,7 @@ class XYRouting(RoutingAlgorithm):
     name = "xy"
     n_vcs = 1
     fault_tolerant = False
+    adaptive = False
 
     def check_topology(self, topology: Topology) -> None:
         if not isinstance(topology, Mesh2D) or isinstance(topology, Torus2D):
@@ -54,6 +55,7 @@ class ECubeRouting(RoutingAlgorithm):
     name = "ecube"
     n_vcs = 1
     fault_tolerant = False
+    adaptive = False
 
     def check_topology(self, topology: Topology) -> None:
         if not isinstance(topology, Hypercube):
@@ -76,6 +78,7 @@ class TorusDatelineXY(RoutingAlgorithm):
     name = "torus_xy"
     n_vcs = 2
     fault_tolerant = False
+    adaptive = False
 
     def check_topology(self, topology: Topology) -> None:
         if not isinstance(topology, Torus2D):

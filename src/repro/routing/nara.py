@@ -48,6 +48,12 @@ class NaraRouting(RoutingAlgorithm):
     n_vcs = 2
     fault_tolerant = False
 
+    def __init__(self):
+        # unordered candidate sets are pure geometry (node, dst, vn) —
+        # memoized across the run; only the load ordering is dynamic
+        self._cand_cache: dict[tuple[int, int, int],
+                               list[tuple[int, int]]] = {}
+
     def check_topology(self, topology: Topology) -> None:
         if not isinstance(topology, Mesh2D) or isinstance(topology, Torus2D):
             raise RoutingError("NARA runs on 2-D meshes")
@@ -64,25 +70,37 @@ class NaraRouting(RoutingAlgorithm):
               in_vc: int) -> RouteDecision:
         if router.node == header.dst:
             return RouteDecision.delivery()
-        topo: Mesh2D = router.topology
         vn = self._virtual_network(router, header)
-        minimal = topo.minimal_ports(router.node, header.dst)
+        key = (router.node, header.dst, vn)
+        candidates = self._cand_cache.get(key)
+        if candidates is None:
+            candidates = self._candidates(router.topology, router.node,
+                                          header.dst, vn)
+            self._cand_cache[key] = candidates
+        candidates = self._order(candidates, router)
+        return RouteDecision(candidates=candidates, steps=1)
+
+    @staticmethod
+    def _candidates(topo: Mesh2D, node: int, dst: int,
+                    vn: int) -> list[tuple[int, int]]:
+        minimal = topo.minimal_ports(node, dst)
         free = VN_FREE[vn]
         term = VN_TERMINAL[vn]
         candidates = [(p, vn) for p in minimal if p in free]
         if term in minimal:
             # only reachable after an overshoot, which NARA never does;
             # kept for interface symmetry with NAFTA
-            x, _ = topo.coords(router.node)
-            dx, _ = topo.coords(header.dst)
+            x, _ = topo.coords(node)
+            dx, _ = topo.coords(dst)
             if x == dx:
                 candidates.append((term, vn))
-        candidates = self._order(candidates, router)
-        return RouteDecision(candidates=candidates, steps=1)
+        return candidates
 
     @staticmethod
     def _order(candidates, router):
         """NARA's adaptivity: least committed data first."""
+        if len(candidates) < 2:
+            return candidates
         return sorted(candidates,
                       key=lambda pv: (router.output_load(pv[0]), pv[0]))
 

@@ -199,7 +199,10 @@ class RuleDrivenNafta(RoutingAlgorithm):
                                         header.dst)
             header.fields["vn"] = vn
         indir = in_port if in_port >= 0 else 4
-        eng.set_inputs(self._decision_inputs(router, header, in_port, vn))
+        # _decision_inputs builds canonical (tuple-keyed) dicts, so the
+        # per-decision normalization scan can be skipped
+        eng.set_inputs(self._decision_inputs(router, header, in_port, vn),
+                       trusted=True)
 
         # step 1: the NARA fast path
         res = eng.call("incoming_message", indir, vn)
@@ -370,7 +373,7 @@ class RuleDrivenRouteC(RoutingAlgorithm):
                  for d in range(self._d)}
         eng.set_inputs({"up_set": up, "down_set": down, "usable": usable,
                         "safe_mask": safe, "at_dest": "false",
-                        "qload": qload, "new_state": {}})
+                        "qload": qload, "new_state": {}}, trusted=True)
 
         # step 1: decide_dir — the admissible output set
         res = eng.call("decide_dir")

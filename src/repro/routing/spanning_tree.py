@@ -28,6 +28,9 @@ class SpanningTreeRouting(RoutingAlgorithm):
     name = "spanning_tree"
     n_vcs = 1
     fault_tolerant = True
+    # the tree is a pure function of the fault knowledge; re-routing a
+    # blocked head can only change anything after a fault update
+    adaptive = False
 
     def __init__(self, root: int = 0):
         self.root = root

@@ -41,6 +41,13 @@ class Arbiter:
     def choose(self, out_port: int, requests: list[Request]) -> Request:
         if not requests:
             raise ValueError("no requests to arbitrate")
+        if len(requests) == 1:
+            # uncontended output: grant directly, but advance the
+            # pointer exactly as the general path would so fairness
+            # under later contention is unchanged
+            chosen = requests[0]
+            self._pointers[out_port] = chosen.in_port * 64 + chosen.in_vc + 1
+            return chosen
         requests = sorted(requests, key=self._key)
         ptr = self._pointers.get(out_port, 0)
         # first requester at or after the pointer position

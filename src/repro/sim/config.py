@@ -26,6 +26,10 @@ class SimConfig:
     #                                (heartbeat detection; harsh mode only)
     trace_paths: bool = False      # record per-message node paths
     deadlock_threshold: int = 2000  # cycles without progress => deadlock
+    active_scheduling: bool = True  # iterate only routers holding flits
+    #                                 (and sources with pending worms);
+    #                                 cycle-accurate either way — the
+    #                                 False setting exists for A/B tests
 
     def __post_init__(self):
         if self.buffer_depth < 1:

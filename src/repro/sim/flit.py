@@ -72,14 +72,14 @@ class Flit:
     msg_id: int
     seq: int
     header: Header | None = None     # present on HEAD / HEAD_TAIL
+    # precomputed at construction: the router checks these per flit per
+    # hop, so a plain attribute beats re-deriving them from ``kind``
+    is_head: bool = field(init=False)
+    is_tail: bool = field(init=False)
 
-    @property
-    def is_head(self) -> bool:
-        return self.kind in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
-
-    @property
-    def is_tail(self) -> bool:
-        return self.kind in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+    def __post_init__(self):
+        self.is_head = self.kind in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
+        self.is_tail = self.kind in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
 
 
 @dataclass

@@ -73,7 +73,20 @@ class Network:
         self._pending_detections: list[tuple[int, object]] = []
         self.stats = StatsCollector()
         self.cycle = 0
+        # advances whenever buffer contents or VC ownership change;
+        # routers key their output_load memo on it
+        self._load_token = 0
+        # advances whenever the routing algorithm's fault knowledge is
+        # recomputed; non-adaptive blocked heads re-route only then
+        self.route_epoch = 0
         self.routers = [Router(self, n) for n in topology.nodes()]
+        for r in self.routers:
+            r.finalize()
+        # nodes whose router may hold flits / whose source may inject —
+        # the active sets the per-cycle phases iterate (stale entries
+        # are pruned lazily; see _live_routers)
+        self._active: set[int] = set()
+        self._active_sources: set[int] = set()
         self.sources = [_SourceState() for _ in topology.nodes()]
         self.messages: dict[int, Message] = {}
         self.fault_schedule = FaultSchedule()
@@ -99,6 +112,7 @@ class Network:
                 # detection delay models *dynamic* failures only
                 self.known_faults.apply(ev)
         if schedule.due(0):
+            self.route_epoch += 1
             self.algorithm.on_fault_update(self)
 
     def set_warmup(self, cycles: int) -> None:
@@ -122,11 +136,21 @@ class Network:
         msg = Message.create(src, dst, length, self.cycle, **fields)
         self.messages[msg.header.msg_id] = msg
         self.sources[src].queue.append(msg)
+        self._active_sources.add(src)
         return msg
 
     def _inject_phase(self) -> None:
         vc = self.config.injection_vc
-        for node, src in enumerate(self.sources):
+        if self.config.active_scheduling:
+            # ascending node order matches the full enumerate() scan
+            nodes = sorted(self._active_sources)
+        else:
+            nodes = range(len(self.sources))
+        for node in nodes:
+            src = self.sources[node]
+            if not src.current and not src.queue:
+                self._active_sources.discard(node)
+                continue
             if not self.faults.node_ok(node):
                 continue
             if not src.current and src.queue:
@@ -140,11 +164,14 @@ class Network:
                 src.current_msg = msg
             if not src.current:
                 continue
-            iv = self.routers[node].input_vcs[LOCAL][vc]
-            if iv.space > 0:
+            router = self.routers[node]
+            iv = router.input_vcs[LOCAL][vc]
+            if len(iv.buffer) + len(iv.incoming) < iv.capacity:
                 flit = src.current.pop(0)
                 iv.incoming.append(flit)  # enters the buffer next cycle
-                self.routers[node].n_flits += 1
+                router.n_flits += 1
+                router._has_incoming = True
+                self._active.add(node)
                 if flit.is_head:
                     assert src.current_msg is not None
                     src.current_msg.injected = self.cycle
@@ -171,25 +198,27 @@ class Network:
 
     def step(self) -> None:
         self.stats.now = self.cycle
-        for ev in self.fault_schedule.due(self.cycle):
-            if self.cycle == 0:
-                continue  # applied by schedule_faults
-            self.apply_fault(ev)
+        if self.fault_schedule.events:
+            for ev in self.fault_schedule.due(self.cycle):
+                if self.cycle == 0:
+                    continue  # applied by schedule_faults
+                self.apply_fault(ev)
         if self._pending_detections:
             due = [e for c, e in self._pending_detections if c <= self.cycle]
             self._pending_detections = [
                 (c, e) for c, e in self._pending_detections if c > self.cycle]
             for ev in due:
                 self._confirm_fault(ev)
-        for r in self.routers:
+        routers = self._live_routers()
+        for r in routers:
             r.flush_incoming()
         self._inject_phase()
         if self.traffic is not None and not self._injection_paused:
             for src, dst, length in self.traffic.tick(self.cycle):
                 self.offer(src, dst, length)
-        for r in self.routers:
+        for r in routers:
             r.route_stage(self.cycle)
-        moved = self._allocate_and_transfer()
+        moved = self._allocate_and_transfer(routers)
         if moved:
             self._last_progress = self.cycle
         elif self._flits_in_flight() and (
@@ -201,26 +230,62 @@ class Network:
                 f"(algorithm {self.algorithm.name})")
         self.cycle += 1
 
-    def _allocate_and_transfer(self) -> int:
+    def _live_routers(self) -> list[Router]:
+        """The routers that can act this cycle.  With active scheduling
+        only those holding flits are visited, in ascending node order —
+        the same relative order as the full scan, and flit-free routers
+        contribute nothing to any phase, so the schedule is
+        cycle-accurate either way.  Routers that gain their first flit
+        mid-cycle (injection or a neighbour's grant) need no phase this
+        cycle: the flit sits in ``incoming`` until the next flush."""
+        routers = self.routers
+        if not self.config.active_scheduling:
+            return routers
+        active = self._active
+        stale = [n for n in active if routers[n].n_flits == 0]
+        if stale:
+            active.difference_update(stale)
+        return [routers[n] for n in sorted(active)]
+
+    def _allocate_and_transfer(self, routers: list[Router] | None = None
+                               ) -> int:
         moved = 0
-        for r in self.routers:
-            if not self.faults.node_ok(r.node):
+        node_ok = self.faults.node_ok
+        arbiter = self.arbiter
+        # the stock round-robin arbiter's single-request outcome is a
+        # pure pointer write we can inline; subclasses (oldest-first
+        # keeps its pointer untouched for header-carrying requests) must
+        # keep going through choose()
+        plain_rr = type(arbiter) is Arbiter
+        pointers = arbiter._pointers
+        cycle = self.cycle
+        for r in (self.routers if routers is None else routers):
+            if not node_ok(r.node):
                 continue
             requests = r.collect_requests()
             if not requests:
                 continue
+            if len(requests) == 1:
+                # uncontended router: skip the grouping machinery (the
+                # arbiter's round-robin pointer still advances exactly
+                # as in the general path)
+                req = requests[0]
+                if plain_rr:
+                    pointers[req.out_port] = req.in_port * 64 + req.in_vc + 1
+                else:
+                    arbiter.choose(req.out_port, requests)
+                r.grant(req, cycle)
+                moved += 1
+                continue
+            # every input VC files at most one request per cycle (see
+            # collect_requests), so granting once per output group
+            # automatically honours the one-flit-per-input constraint
             by_output: dict[int, list] = {}
             for req in requests:
                 by_output.setdefault(req.out_port, []).append(req)
-            used_inputs: set[tuple[int, int]] = set()
             for out_port in sorted(by_output):
-                pool = [q for q in by_output[out_port]
-                        if (q.in_port, q.in_vc) not in used_inputs]
-                if not pool:
-                    continue
-                req = self.arbiter.choose(out_port, pool)
-                r.grant(req, self.cycle)
-                used_inputs.add((req.in_port, req.in_vc))
+                req = arbiter.choose(out_port, by_output[out_port])
+                r.grant(req, cycle)
                 moved += 1
         return moved
 
@@ -243,6 +308,7 @@ class Network:
         if self.config.fault_mode == "quiesce":
             self._drain_for_fault()
             self._apply_fault_now(event)
+            self.route_epoch += 1
             self.algorithm.on_fault_update(self)
             return
         # harsh mode: the physical fault is immediate ...
@@ -261,6 +327,7 @@ class Network:
         self._rip_up_worms(event)
         if self.known_faults is not self.faults:
             self.known_faults.apply(event)
+        self.route_epoch += 1
         self.algorithm.on_fault_update(self)
 
     def _apply_fault_now(self, event) -> None:
@@ -287,12 +354,13 @@ class Network:
 
     def _step_drain(self) -> None:
         self.stats.now = self.cycle
-        for r in self.routers:
+        routers = self._live_routers()
+        for r in routers:
             r.flush_incoming()
         self._inject_phase()  # half-injected worms finish entering
-        for r in self.routers:
+        for r in routers:
             r.route_stage(self.cycle)
-        self._allocate_and_transfer()
+        self._allocate_and_transfer(routers)
         self.cycle += 1
 
     def _rip_up_worms(self, event) -> None:

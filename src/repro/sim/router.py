@@ -51,6 +51,7 @@ class InputVC:
     state: str = IDLE
     decision: "object | None" = None       # RouteDecision while ROUTED
     ready_cycle: int = 0                   # decision latency expiry
+    epoch: int = 0                         # route_epoch of the decision
     out_port: int | None = None
     out_vc: int | None = None
     header: Header | None = None           # header of the current worm
@@ -101,8 +102,30 @@ class Router:
             for pid in port_ids}
         # incremental flit count (kept in sync by the transfer sites)
         self.n_flits = 0
+        # True while any input VC has staged incoming flits; lets
+        # flush_incoming skip the VC scan on quiet routers
+        self._has_incoming = False
         self._alive_version = -1
         self._alive: dict[int, bool] = {}
+        # flat view of the input VCs, in allocation order (LOCAL first,
+        # then ascending ports) — the per-cycle phases iterate this
+        self._ivs: tuple[InputVC, ...] = tuple(
+            iv for vcs in self.input_vcs.values() for iv in vcs)
+        # per-port (downstream router, downstream input VCs) — resolved
+        # by finalize() once every router of the network exists
+        self._down: dict[int, tuple["Router", list[InputVC]]] = {}
+        # output_load memo, valid while the network's load token stands
+        self._load_token = -1
+        self._loads: dict[int, int] = {}
+
+    def finalize(self) -> None:
+        """Resolve downstream buffer references (called by the network
+        after all routers are constructed)."""
+        routers = self.network.routers
+        self._down = {
+            pid: (routers[port.neighbor],
+                  routers[port.neighbor].input_vcs[port.neighbor_port])
+            for pid, port in self.ports.items()}
 
     # -- views used by routing algorithms ---------------------------------------
 
@@ -120,7 +143,11 @@ class Router:
     def port_alive(self, pid: int) -> bool:
         if pid == LOCAL:
             return True
-        self._refresh_alive()
+        faults = self.network.faults
+        if self._alive_version != faults.version:
+            self._alive = {p: faults.port_ok(self.node, p)
+                           for p in self.ports}
+            self._alive_version = faults.version
         return self._alive.get(pid, False)
 
     def neighbor(self, pid: int) -> int | None:
@@ -139,136 +166,179 @@ class Router:
         """Free space in the downstream buffer this output feeds."""
         if pid == LOCAL:
             return 1 << 30
-        port = self.ports[pid]
-        down = self.network.routers[port.neighbor]
-        return down.input_vcs[port.neighbor_port][vc].space
+        iv = self._down[pid][1][vc]
+        return iv.capacity - len(iv.buffer) - len(iv.incoming)
 
     def output_load(self, pid: int) -> int:
         """Adaptivity metric: data committed to this output — occupied
-        downstream buffer slots plus worms holding its VCs."""
+        downstream buffer slots plus worms holding its VCs.  Memoized
+        against the network's load token, which advances whenever any
+        buffer content or VC ownership changes (grants, purges) — so
+        every adaptive route decision of one cycle shares the figures
+        the full recomputation would produce."""
         if pid == LOCAL:
             return 0
-        port = self.ports[pid]
-        down = self.network.routers[port.neighbor]
-        occupancy = sum(len(iv.buffer) + len(iv.incoming)
-                        for iv in down.input_vcs[port.neighbor_port])
-        owned = sum(1 for ov in self.output_vcs[pid] if ov.owner is not None)
-        return occupancy + owned
+        token = self.network._load_token
+        if self._load_token != token:
+            self._load_token = token
+            self._loads.clear()
+        out = self._loads.get(pid)
+        if out is None:
+            out = 0
+            for iv in self._down[pid][1]:
+                out += len(iv.buffer) + len(iv.incoming)
+            for ov in self.output_vcs[pid]:
+                if ov.owner is not None:
+                    out += 1
+            self._loads[pid] = out
+        return out
 
     def queue_length(self, pid: int, vc: int) -> int:
         """Occupancy of the downstream VC buffer (NARA's mean_queue)."""
         if pid == LOCAL:
             return 0
-        port = self.ports[pid]
-        down = self.network.routers[port.neighbor]
-        iv = down.input_vcs[port.neighbor_port][vc]
+        iv = self._down[pid][1][vc]
         return len(iv.buffer) + len(iv.incoming)
 
     # -- cycle phases (driven by Network.step) --------------------------------------
 
     def flush_incoming(self) -> None:
-        for vcs in self.input_vcs.values():
-            for iv in vcs:
-                iv.flush_incoming()
+        if not self._has_incoming:
+            return
+        self._has_incoming = False
+        for iv in self._ivs:
+            if iv.incoming:
+                iv.buffer.extend(iv.incoming)
+                iv.incoming.clear()
 
     def route_stage(self, cycle: int) -> None:
         """Compute routes for heads at the front of IDLE input VCs and
         refresh candidate lists for ROUTED (possibly blocked) heads."""
         if self.n_flits == 0:
             return
-        algo = self.network.algorithm
-        cfg = self.network.config
+        net = self.network
+        algo = net.algorithm
+        adaptive = algo.adaptive
+        epoch = net.route_epoch
+        cycles_per_step = net.config.cycles_per_step
         stuck_messages: list[int] = []
-        for vcs in self.input_vcs.values():
-            for iv in vcs:
-                front = iv.front
-                if front is None:
-                    continue
-                if iv.state == IDLE:
-                    if not front.is_head:
-                        raise RuntimeError(
-                            f"node {self.node}: body flit of message "
-                            f"{front.msg_id} at the front of an idle VC")
-                    header = front.header
-                    assert header is not None
-                    decision = algo.route(self, header, iv.port, iv.vc)
-                    self.network.stats.count_decision(decision.steps)
-                    latency = max(1, decision.steps * cfg.cycles_per_step)
-                    iv.state = ROUTING
-                    iv.header = header
-                    iv.decision = decision
-                    iv.ready_cycle = cycle + latency - 1
-                if iv.state == ROUTING and cycle >= iv.ready_cycle:
+        for iv in self._ivs:
+            buf = iv.buffer
+            if not buf:
+                continue
+            state = iv.state
+            if state == IDLE:
+                front = buf[0]
+                if not front.is_head:
+                    raise RuntimeError(
+                        f"node {self.node}: body flit of message "
+                        f"{front.msg_id} at the front of an idle VC")
+                header = front.header
+                assert header is not None
+                decision = algo.route(self, header, iv.port, iv.vc)
+                net.stats.count_decision(decision.steps)
+                latency = max(1, decision.steps * cycles_per_step)
+                iv.state = state = ROUTING
+                iv.header = header
+                iv.decision = decision
+                iv.epoch = epoch
+                iv.ready_cycle = cycle + latency - 1
+            if state == ROUTING:
+                if cycle >= iv.ready_cycle:
                     iv.state = ROUTED
-                elif iv.state == ROUTED:
-                    # refresh adaptivity ordering while blocked (the
-                    # hardware's premises are continuously evaluated);
-                    # costs no additional interpretation steps.
-                    assert iv.header is not None
-                    iv.decision = algo.route(self, iv.header, iv.port, iv.vc)
-                if iv.state == ROUTED and iv.decision is not None \
-                        and getattr(iv.decision, "stuck", False):
-                    assert iv.header is not None
-                    stuck_messages.append(iv.header.msg_id)
+            elif state == ROUTED and (adaptive or iv.epoch != epoch):
+                # refresh adaptivity ordering while blocked (the
+                # hardware's premises are continuously evaluated); costs
+                # no additional interpretation steps.  Deterministic
+                # (non-adaptive) decisions are refreshed only after the
+                # fault knowledge changed — nothing else can alter them.
+                assert iv.header is not None
+                iv.decision = algo.route(self, iv.header, iv.port, iv.vc)
+                iv.epoch = epoch
+            if iv.state == ROUTED and iv.decision is not None \
+                    and iv.decision.stuck:
+                assert iv.header is not None
+                stuck_messages.append(iv.header.msg_id)
         for msg_id in stuck_messages:
-            self.network.message_stuck(msg_id)
+            net.message_stuck(msg_id)
 
     def collect_requests(self) -> list[Request]:
-        """Requests for this cycle's switch allocation."""
+        """Requests for this cycle's switch allocation.  The body
+        inlines ``output_free``/``credits``/``port_alive`` — this runs
+        once per flit-holding router per cycle and dominated profiles
+        as separate calls."""
         out: list[Request] = []
         if self.n_flits == 0:
             return out
-        for vcs in self.input_vcs.values():
-            for iv in vcs:
-                front = iv.front
-                if front is None:
+        faults = self.network.faults
+        if self._alive_version != faults.version:
+            self._alive = {p: faults.port_ok(self.node, p)
+                           for p in self.ports}
+            self._alive_version = faults.version
+        alive = self._alive
+        output_vcs = self.output_vcs
+        down = self._down
+        for iv in self._ivs:
+            if not iv.buffer:
+                continue
+            state = iv.state
+            if state == ROUTED:
+                decision = iv.decision
+                assert decision is not None
+                if decision.deliver:
+                    out.append(Request(iv.port, iv.vc, LOCAL, iv.vc,
+                                       iv.header, True))
                     continue
-                if iv.state == ROUTED:
-                    decision = iv.decision
-                    assert decision is not None
-                    if decision.deliver:
-                        out.append(Request(iv.port, iv.vc, LOCAL, iv.vc,
-                                           iv.header, True))
+                for pid, vc in decision.candidates:
+                    if pid != LOCAL and not alive.get(pid, False):
                         continue
-                    for pid, vc in decision.candidates:
-                        if self.output_free(pid, vc):
-                            out.append(Request(iv.port, iv.vc, pid, vc,
-                                               iv.header, True))
-                            break  # one request per input VC per cycle
-                elif iv.state == ACTIVE:
-                    assert iv.out_port is not None and iv.out_vc is not None
-                    # a dead link stalls the worm where it stands (it is
-                    # ripped up when the fault is confirmed)
-                    if self.port_alive(iv.out_port) \
-                            and self.credits(iv.out_port, iv.out_vc) > 0:
-                        out.append(Request(iv.port, iv.vc, iv.out_port,
+                    if output_vcs[pid][vc].owner is not None:
+                        continue
+                    if pid != LOCAL:
+                        d = down[pid][1][vc]
+                        if len(d.buffer) + len(d.incoming) >= d.capacity:
+                            continue
+                    out.append(Request(iv.port, iv.vc, pid, vc,
+                                       iv.header, True))
+                    break  # one request per input VC per cycle
+            elif state == ACTIVE:
+                out_port = iv.out_port
+                assert out_port is not None and iv.out_vc is not None
+                # a dead link stalls the worm where it stands (it is
+                # ripped up when the fault is confirmed)
+                if out_port == LOCAL:
+                    out.append(Request(iv.port, iv.vc, out_port,
+                                       iv.out_vc, iv.header, False))
+                elif alive.get(out_port, False):
+                    d = down[out_port][1][iv.out_vc]
+                    if len(d.buffer) + len(d.incoming) < d.capacity:
+                        out.append(Request(iv.port, iv.vc, out_port,
                                            iv.out_vc, iv.header, False))
         return out
 
     def grant(self, req: Request, cycle: int) -> None:
         """Execute one granted request: move the front flit."""
+        net = self.network
         iv = self.input_vcs[req.in_port][req.in_vc]
         flit = iv.buffer.popleft()
         self.n_flits -= 1
+        net._load_token += 1
+        out_port = req.out_port
+        out_vc = req.out_vc
         if req.is_head:
-            if req.out_port != LOCAL:
-                self.output_vcs[req.out_port][req.out_vc].owner = (
-                    req.in_port, req.in_vc)
-            else:
-                self.output_vcs[LOCAL][req.out_vc].owner = (
-                    req.in_port, req.in_vc)
+            self.output_vcs[out_port][out_vc].owner = (req.in_port,
+                                                       req.in_vc)
             iv.state = ACTIVE
-            iv.out_port = req.out_port
-            iv.out_vc = req.out_vc
+            iv.out_port = out_port
+            iv.out_vc = out_vc
             assert iv.header is not None
-            self.network.algorithm.on_depart(self, iv.header, req.out_port,
-                                             req.out_vc)
-            if self.network.config.trace_paths:
+            net.algorithm.on_depart(self, iv.header, out_port, out_vc)
+            if net.config.trace_paths:
                 iv.header.fields.setdefault("trace", []).append(self.node)
         if flit.is_tail:
-            self.output_vcs[req.out_port][req.out_vc].owner = None
+            self.output_vcs[out_port][out_vc].owner = None
             iv.release_worm()
-        self._forward(flit, req.out_port, req.out_vc, cycle)
+        self._forward(flit, out_port, out_vc, cycle)
 
     def _forward(self, flit: Flit, out_port: int, out_vc: int,
                  cycle: int) -> None:
@@ -276,50 +346,51 @@ class Router:
         if out_port == LOCAL:
             net.eject(self.node, flit, cycle)
             return
-        port = self.ports[out_port]
         if not self.port_alive(out_port):  # pragma: no cover - guarded earlier
             raise RuntimeError(f"node {self.node}: forwarding over the dead "
                                f"port {out_port}")
-        down = net.routers[port.neighbor]
-        target = down.input_vcs[port.neighbor_port][out_vc]
-        if target.space <= 0:  # pragma: no cover - credit check guards this
+        down, down_ivs = self._down[out_port]
+        target = down_ivs[out_vc]
+        full = len(target.buffer) + len(target.incoming) >= target.capacity
+        if full:  # pragma: no cover - credit check guards this
             raise RuntimeError(
-                f"buffer overflow: node {self.node} -> {port.neighbor} "
-                f"port {port.neighbor_port} vc {out_vc}")
+                f"buffer overflow: node {self.node} -> {down.node} "
+                f"port {self.ports[out_port].neighbor_port} vc {out_vc}")
         target.incoming.append(flit)
         down.n_flits += 1
-        net.stats.count_flit_hop()
+        down._has_incoming = True
+        net._active.add(down.node)
+        net.stats.flit_hops += 1
 
     # -- fault handling -----------------------------------------------------------
 
     def worms_using_port(self, pid: int) -> set[int]:
         """Message ids of worms currently assigned to output ``pid``."""
         out = set()
-        for vcs in self.input_vcs.values():
-            for iv in vcs:
-                if iv.state == ACTIVE and iv.out_port == pid and iv.header:
-                    out.add(iv.header.msg_id)
+        for iv in self._ivs:
+            if iv.state == ACTIVE and iv.out_port == pid and iv.header:
+                out.add(iv.header.msg_id)
         return out
 
     def purge_message(self, msg_id: int) -> int:
         """Remove every flit of a message from this router; returns the
         number of flits dropped.  Used by the 'harsh' fault mode."""
         dropped = 0
-        for vcs in self.input_vcs.values():
-            for iv in vcs:
-                before = len(iv.buffer) + len(iv.incoming)
-                iv.buffer = deque(f for f in iv.buffer if f.msg_id != msg_id)
-                iv.incoming = [f for f in iv.incoming if f.msg_id != msg_id]
-                dropped += before - len(iv.buffer) - len(iv.incoming)
-                if iv.header is not None and iv.header.msg_id == msg_id:
-                    if iv.out_port is not None:
-                        ov = self.output_vcs[iv.out_port][iv.out_vc]
-                        if ov.owner == (iv.port, iv.vc):
-                            ov.owner = None
-                    iv.release_worm()
-                elif iv.state != IDLE and iv.header is None:  # pragma: no cover
-                    iv.release_worm()
+        for iv in self._ivs:
+            before = len(iv.buffer) + len(iv.incoming)
+            iv.buffer = deque(f for f in iv.buffer if f.msg_id != msg_id)
+            iv.incoming = [f for f in iv.incoming if f.msg_id != msg_id]
+            dropped += before - len(iv.buffer) - len(iv.incoming)
+            if iv.header is not None and iv.header.msg_id == msg_id:
+                if iv.out_port is not None:
+                    ov = self.output_vcs[iv.out_port][iv.out_vc]
+                    if ov.owner == (iv.port, iv.vc):
+                        ov.owner = None
+                iv.release_worm()
+            elif iv.state != IDLE and iv.header is None:  # pragma: no cover
+                iv.release_worm()
         self.n_flits -= dropped
+        self.network._load_token += 1
         return dropped
 
     def occupancy(self) -> int:

@@ -51,6 +51,7 @@ class Topology:
     def __init__(self):
         self._ports: dict[int, dict[int, Port]] = {}
         self._built = False
+        self._neighbor_cache: dict[int, list[int]] = {}
 
     # -- subclass interface ---------------------------------------------
 
@@ -98,7 +99,11 @@ class Topology:
         return self._ports[node].get(port_id)
 
     def neighbors(self, node: int) -> list[int]:
-        return [p.neighbor for p in self.ports(node).values()]
+        out = self._neighbor_cache.get(node)
+        if out is None:
+            out = [p.neighbor for p in self.ports(node).values()]
+            self._neighbor_cache[node] = out
+        return out
 
     def links(self) -> set[tuple[int, int]]:
         self._build()
@@ -123,6 +128,9 @@ class Mesh2D(Topology):
         super().__init__()
         self.width = width
         self.height = height
+        # minimal_ports is pure geometry (faults never shrink it), so
+        # it is memoized per (node, dest) pair across the whole run
+        self._minimal_cache: dict[int, list[int]] = {}
 
     @property
     def n_nodes(self) -> int:
@@ -159,7 +167,16 @@ class Mesh2D(Topology):
 
     def minimal_ports(self, node: int, dest: int) -> list[int]:
         """Ports on minimal paths from node to dest (paper's set 2
-        ingredient before deadlock restrictions)."""
+        ingredient before deadlock restrictions).  The returned list is
+        memoized and shared — callers must not mutate it."""
+        key = node * self.width * self.height + dest
+        out = self._minimal_cache.get(key)
+        if out is None:
+            out = self._compute_minimal(node, dest)
+            self._minimal_cache[key] = out
+        return out
+
+    def _compute_minimal(self, node: int, dest: int) -> list[int]:
         x, y = self.coords(node)
         dx, dy = self.coords(dest)
         out = []
@@ -198,7 +215,7 @@ class Torus2D(Mesh2D):
         dy = abs(ay - by)
         return min(dx, self.width - dx) + min(dy, self.height - dy)
 
-    def minimal_ports(self, node: int, dest: int) -> list[int]:
+    def _compute_minimal(self, node: int, dest: int) -> list[int]:
         x, y = self.coords(node)
         dx, dy = self.coords(dest)
         out = []
