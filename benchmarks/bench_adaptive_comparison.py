@@ -10,31 +10,40 @@ adaptive, so it tracks NARA closely — the gap opens on deeper meshes
 where PAR's plane discipline bites.
 """
 
-from repro.experiments import WorkloadSpec, run_workload, save_report, table
+from repro.experiments import (WorkloadSpec, run_sweep, save_report,
+                               sweep_main, table)
 from repro.sim import Mesh2D
 
+GRID = [(algo, load) for algo in ("xy", "par", "nara")
+        for load in (0.15, 0.25, 0.35)]
 
-def run():
+
+def run(workers: int = 0, cache: bool = False):
+    specs = [WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
+                          pattern="transpose", load=load,
+                          cycles=2000, warmup=500, seed=19, drain=False)
+             for algo, load in GRID]
     rows = []
-    for algo in ("xy", "par", "nara"):
-        for load in (0.15, 0.25, 0.35):
-            spec = WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
-                                pattern="transpose", load=load,
-                                cycles=2000, warmup=500, seed=19)
-            res = run_workload(spec, drain=False)
-            rows.append({"algorithm": algo, "offered": load,
-                         "accepted": res["throughput_flits_node_cycle"],
-                         "latency": res["mean_latency"]})
+    for (algo, load), res in zip(
+            GRID, run_sweep(specs, workers=workers, cache=cache,
+                            progress=bool(workers),
+                            label="adaptive_comparison")):
+        rows.append({"algorithm": algo, "offered": load,
+                     "accepted": res["throughput_flits_node_cycle"],
+                     "latency": res["mean_latency"]})
     return rows
+
+
+def report(rows) -> str:
+    return table(rows, [("algorithm", "algorithm"), ("offered", "offered"),
+                        ("accepted", "accepted"), ("latency", "latency")],
+                 title="Adaptivity spectrum under transpose traffic, "
+                       "8x8 mesh")
 
 
 def test_adaptive_comparison(benchmark):
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = table(rows, [("algorithm", "algorithm"), ("offered", "offered"),
-                        ("accepted", "accepted"), ("latency", "latency")],
-                 title="Adaptivity spectrum under transpose traffic, "
-                       "8x8 mesh")
-    save_report("adaptive_comparison", text)
+    save_report("adaptive_comparison", report(rows))
 
     by = {(r["algorithm"], r["offered"]): r for r in rows}
     # oblivious XY saturates: at 0.35 offered it accepts much less than
@@ -47,3 +56,9 @@ def test_adaptive_comparison(benchmark):
         a = by[("par", load)]["accepted"]
         b = by[("nara", load)]["accepted"]
         assert abs(a - b) <= 0.15 * max(a, b)
+
+
+if __name__ == "__main__":
+    sweep_main(lambda **kw: save_report("adaptive_comparison",
+                                        report(run(**kw))),
+               description=__doc__.splitlines()[0])

@@ -5,42 +5,48 @@ nft variant) with ROUTE_C paying one extra interpretation step per
 decision; under node faults full ROUTE_C keeps the surviving network
 connected-and-served while the stripped variant cannot route around
 anything.
+
+Run directly for the sweep-engine flags::
+
+    PYTHONPATH=src python benchmarks/bench_cube_overhead.py --workers 4
 """
 
-from repro.experiments import (WorkloadSpec, cube_fault_sweep, run_workload,
-                               save_report, table)
+from repro.experiments import (WorkloadSpec, cube_fault_sweep, run_sweep,
+                               save_report, sweep_main, table)
 from repro.sim import Hypercube
 
 
-def run():
+def _row(algorithm, node_faults, res):
+    return {"algorithm": algorithm, "node_faults": node_faults,
+            "latency": res["mean_latency"],
+            "hops": res["mean_hops"],
+            "throughput": res["throughput_flits_node_cycle"],
+            "mean_steps": res["mean_decision_steps"],
+            "undelivered": res["undelivered"],
+            "misrouted": res["misrouted_fraction"]}
+
+
+def run(workers: int = 0, cache: bool = False):
+    algos = ("route_c_nft", "route_c")
+    specs = [WorkloadSpec(topology=Hypercube(4), algorithm=algo,
+                          load=0.12, cycles=2500, warmup=500, seed=31)
+             for algo in algos]
     rows = []
-    for algo in ("route_c_nft", "route_c"):
-        spec = WorkloadSpec(topology=Hypercube(4), algorithm=algo,
-                            load=0.12, cycles=2500, warmup=500, seed=31)
-        res = run_workload(spec)
-        rows.append({"algorithm": algo, "node_faults": 0,
-                     "latency": res["mean_latency"],
-                     "hops": res["mean_hops"],
-                     "throughput": res["throughput_flits_node_cycle"],
-                     "mean_steps": res["mean_decision_steps"],
-                     "undelivered": res["undelivered"],
-                     "misrouted": res["misrouted_fraction"]})
+    for algo, res in zip(algos,
+                         run_sweep(specs, workers=workers, cache=cache,
+                                   progress=bool(workers),
+                                   label="cube_overhead[fault-free]")):
+        rows.append(_row(algo, 0, res))
     for res in cube_fault_sweep("route_c", [1, 2, 3], dimension=4,
-                                load=0.12, cycles=2500, warmup=500):
-        rows.append({"algorithm": "route_c",
-                     "node_faults": res["n_node_faults"],
-                     "latency": res["mean_latency"],
-                     "hops": res["mean_hops"],
-                     "throughput": res["throughput_flits_node_cycle"],
-                     "mean_steps": res["mean_decision_steps"],
-                     "undelivered": res["undelivered"],
-                     "misrouted": res["misrouted_fraction"]})
+                                load=0.12, cycles=2500, warmup=500,
+                                workers=workers, cache=cache,
+                                progress=bool(workers)):
+        rows.append(_row("route_c", res["n_node_faults"], res))
     return rows
 
 
-def test_cube_overhead(benchmark):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = table(rows, [("algorithm", "algorithm"),
+def report(rows) -> str:
+    return table(rows, [("algorithm", "algorithm"),
                         ("node_faults", "node faults"),
                         ("latency", "mean latency"), ("hops", "mean hops"),
                         ("throughput", "throughput"),
@@ -49,7 +55,11 @@ def test_cube_overhead(benchmark):
                         ("misrouted", "misrouted frac")],
                  title="ROUTE_C on a 16-node hypercube, uniform "
                        "0.12 flits/node/cycle")
-    save_report("cube_overhead", text)
+
+
+def test_cube_overhead(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("cube_overhead", report(rows))
 
     by = {(r["algorithm"], r["node_faults"]): r for r in rows}
     # fault-free equivalence in paths; the time overhead is the extra
@@ -66,3 +76,8 @@ def test_cube_overhead(benchmark):
     # detours happen and cost hops, but latency stays bounded
     assert by[("route_c", 3)]["latency"] < \
         2.5 * by[("route_c", 0)]["latency"]
+
+
+if __name__ == "__main__":
+    sweep_main(lambda **kw: save_report("cube_overhead", report(run(**kw))),
+               description=__doc__.splitlines()[0])

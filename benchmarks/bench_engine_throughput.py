@@ -1,7 +1,8 @@
 """Engine and simulator throughput: the compiled fast path vs the
-interpreted reference, and active-router scheduling vs the full scan.
+interpreted reference, active-router scheduling vs the full scan, and
+the parallel sweep engine vs serial point-by-point execution.
 
-Two layers of the same story (paper Section 4.3, "software solutions
+Three layers of the same story (paper Section 4.3, "software solutions
 would limit the network performance drastically"):
 
 * **decisions/sec** — the NAFTA ``incoming_message`` rule base invoked
@@ -11,12 +12,17 @@ would limit the network performance drastically"):
   one ``eval_expr`` AST walk per premise);
 * **cycles/sec** — a full wormhole simulation with and without
   ``SimConfig.active_scheduling`` (only routers holding flits are
-  iterated; both settings are cycle-accurate and bit-identical).
+  iterated; both settings are cycle-accurate and bit-identical);
+* **points/sec** — the latency/load sweep through
+  :func:`repro.experiments.pool.run_sweep`: serial vs ``--workers N``
+  process fan-out vs a warm content-addressed cache, all three
+  byte-identical.
 
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
-    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --quick --workers 2
 
 Results land in ``BENCH_engine.json`` (see ``--out``).
 """
@@ -25,12 +31,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
+import tempfile
 import time
 
+from repro.experiments import WorkloadSpec, add_sweep_args, run_sweep
 from repro.routing.registry import make_algorithm
 from repro.routing.rulesets.loader import load_ruleset
 from repro.sim.config import SimConfig
-from repro.sim.flit import reset_message_ids
 from repro.sim.network import Network
 from repro.sim.topology import Mesh2D
 from repro.sim.traffic import TrafficGenerator
@@ -115,7 +124,6 @@ def bench_decisions(repeats: int, rounds: int) -> dict:
 # ---------------------------------------------------------------------------
 
 def time_sim(active: bool, cycles: int, load: float) -> tuple[float, dict]:
-    reset_message_ids()
     topo = Mesh2D(WIDTH, HEIGHT)
     net = Network(topo, make_algorithm("nafta"),
                   config=SimConfig(active_scheduling=active))
@@ -178,10 +186,78 @@ def bench_latency_sweep(rounds: int = 3) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# parallel sweep engine: serial vs N workers vs warm cache
+# ---------------------------------------------------------------------------
+
+def sweep_specs(quick: bool) -> list[WorkloadSpec]:
+    """The latency/load grid as independent sweep points (the full grid
+    mirrors benchmarks/bench_latency_load.py)."""
+    if quick:
+        algos, loads, cycles = ("xy", "nara"), (0.05, 0.15), 600
+    else:
+        algos = ("xy", "nara", "spanning_tree")
+        loads, cycles = (0.05, 0.10, 0.20, 0.30, 0.40), 2200
+    return [WorkloadSpec(topology=Mesh2D(WIDTH, HEIGHT), algorithm=algo,
+                         load=load, cycles=cycles, warmup=600, seed=13,
+                         drain=False)
+            for algo in algos for load in loads]
+
+
+def bench_parallel_sweep(workers: int, quick: bool,
+                         cache: bool = True) -> dict:
+    """Three passes over the same grid: serial in-process, ``workers``
+    processes (cold cache), and a warm-cache replay — results must be
+    byte-identical across all three.
+
+    Quick mode uses the persistent default cache directory so a second
+    quick invocation (CI runs the smoke twice) sees cross-process cache
+    hits; full mode uses a throwaway directory so the cold-run timing
+    is honest on developer machines.
+    """
+    specs = sweep_specs(quick)
+    cache_dir = None if quick else tempfile.mkdtemp(prefix="repro-sweep-")
+    try:
+        t0 = time.perf_counter()
+        serial = run_sweep(specs, workers=0, cache=False)
+        serial_s = time.perf_counter() - t0
+
+        cold_stats: dict = {}
+        t0 = time.perf_counter()
+        cold = run_sweep(specs, workers=workers, cache=cache,
+                         cache_dir=cache_dir, progress=True,
+                         label="parallel_sweep", stats=cold_stats)
+        parallel_s = time.perf_counter() - t0
+
+        warm_stats: dict = {}
+        t0 = time.perf_counter()
+        warm = run_sweep(specs, workers=workers, cache=cache,
+                         cache_dir=cache_dir, stats=warm_stats)
+        warm_s = time.perf_counter() - t0
+    finally:
+        if cache_dir is not None:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    dump = lambda rows: json.dumps(rows, sort_keys=True)  # noqa: E731
+    return {
+        "points": len(specs),
+        "workers": workers,
+        "machine_cpus": os.cpu_count(),
+        "serial_wallclock_s": serial_s,
+        "parallel_wallclock_s": parallel_s,
+        "parallel_speedup": serial_s / parallel_s,
+        "warm_cache_wallclock_s": warm_s,
+        "warm_cache_fraction_of_serial": warm_s / serial_s,
+        "cache_hits_initial": cold_stats.get("cache_hits", 0),
+        "warm_cache_hits": warm_stats.get("cache_hits", 0),
+        "results_identical": dump(serial) == dump(cold) == dump(warm),
+    }
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
-def run(quick: bool = False) -> dict:
+def run(quick: bool = False, workers: int = 0, cache: bool = True) -> dict:
     if quick:
         decisions = bench_decisions(repeats=50, rounds=2)
         sim_low = bench_sim(cycles=300, rounds=1, load=0.04)
@@ -198,6 +274,8 @@ def run(quick: bool = False) -> dict:
         # scan's home turf; at saturation both settings do similar work
         "simulation_throughput_low_load": sim_low,
         "simulation_throughput_moderate_load": sim_mod,
+        "parallel_sweep": bench_parallel_sweep(workers or 4, quick,
+                                               cache=cache),
     }
     if not quick:
         report["latency_load_sweep"] = bench_latency_sweep()
@@ -212,8 +290,9 @@ def main(argv=None) -> None:
                     help="write the JSON report here (default: "
                          "BENCH_engine.json next to the repo root; "
                          "'-' prints to stdout only)")
+    add_sweep_args(ap)
     args = ap.parse_args(argv)
-    report = run(quick=args.quick)
+    report = run(quick=args.quick, workers=args.workers, cache=args.cache)
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
     if args.out != "-":

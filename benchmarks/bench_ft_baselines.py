@@ -16,20 +16,26 @@ concession), only NAFTA pays multi-step decisions.
 
 import numpy as np
 
-from repro.experiments import WorkloadSpec, run_workload, save_report, table
+from repro.experiments import (WorkloadSpec, run_sweep, save_report,
+                               sweep_main, table)
 from repro.sim import Mesh2D, random_link_faults
 
+ALGORITHMS = ("nafta", "updown", "spanning_tree")
 
-def run():
+
+def run(workers: int = 0, cache: bool = False):
     topo = Mesh2D(8, 8)
     rng = np.random.default_rng(41)
     links = random_link_faults(topo, 6, rng)
+    specs = [WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
+                          load=0.10, cycles=2500, warmup=500, seed=43,
+                          fault_links=list(links))
+             for algo in ALGORITHMS]
     rows = []
-    for algo in ("nafta", "updown", "spanning_tree"):
-        spec = WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
-                            load=0.10, cycles=2500, warmup=500, seed=43,
-                            fault_links=list(links))
-        res = run_workload(spec)
+    for algo, res in zip(ALGORITHMS,
+                         run_sweep(specs, workers=workers, cache=cache,
+                                   progress=bool(workers),
+                                   label="ft_baselines")):
         rows.append({
             "algorithm": algo,
             "latency": res["mean_latency"],
@@ -43,16 +49,19 @@ def run():
     return rows
 
 
-def test_ft_baselines(benchmark):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = table(rows, [("algorithm", "algorithm"),
+def report(rows) -> str:
+    return table(rows, [("algorithm", "algorithm"),
                         ("latency", "mean latency"), ("p99", "p99"),
                         ("hops", "mean hops"), ("throughput", "throughput"),
                         ("stuck", "stuck"), ("unroutable", "unroutable"),
                         ("max_steps", "steps")],
                  title="Fault-tolerance classes on an 8x8 mesh with 6 "
                        "random link faults, uniform 0.10 flits/node/cycle")
-    save_report("ft_baselines", text)
+
+
+def test_ft_baselines(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ft_baselines", report(rows))
 
     by = {r["algorithm"]: r for r in rows}
     # NAFTA keeps the lowest latency and near-minimal hops
@@ -66,3 +75,9 @@ def test_ft_baselines(benchmark):
     # the decision-time cost is NAFTA's alone (multi-step ft decisions)
     assert by["nafta"]["max_steps"] == 3
     assert by["updown"]["max_steps"] == 1
+
+
+if __name__ == "__main__":
+    sweep_main(lambda **kw: save_report("ft_baselines", report(run(**kw))),
+               description="three fault-tolerance classes on one "
+                           "faulty mesh")

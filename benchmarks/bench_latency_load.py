@@ -3,19 +3,27 @@ of the routing literature the paper's evaluation builds on: adaptive
 NAFTA/NARA sustain a higher load than oblivious XY before saturating,
 and the spanning-tree baseline saturates far earlier ("uses only a
 small fraction of the network links").
+
+Run directly for the sweep-engine flags::
+
+    PYTHONPATH=src python benchmarks/bench_latency_load.py --workers 4
 """
 
-from repro.experiments import latency_vs_load, line_chart, save_report, table
+from repro.experiments import (latency_vs_load, line_chart, save_report,
+                               sweep_main, table)
 from repro.sim import Mesh2D
 
 LOADS = [0.05, 0.10, 0.20, 0.30, 0.40]
+ALGORITHMS = ("xy", "nara", "spanning_tree")
 
 
-def run():
+def run(workers: int = 0, cache: bool = False):
     out = {}
-    for algo in ("xy", "nara", "spanning_tree"):
+    for algo in ALGORITHMS:
         out[algo] = latency_vs_load(lambda: Mesh2D(8, 8), algo, LOADS,
-                                    cycles=2200, warmup=600, seed=13)
+                                    cycles=2200, warmup=600, seed=13,
+                                    workers=workers, cache=cache,
+                                    progress=bool(workers))
     return out
 
 
@@ -23,8 +31,7 @@ def accepted(points):
     return [p["throughput_flits_node_cycle"] for p in points]
 
 
-def test_latency_vs_load(benchmark):
-    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+def report(curves) -> str:
     rows = []
     for algo, points in curves.items():
         for p in points:
@@ -37,14 +44,18 @@ def test_latency_vs_load(benchmark):
         title="mean latency vs offered load (log y)",
         x_label="offered load [flits/node/cycle]", y_label="cycles",
         y_log=True)
-    text = "\n\n".join([
+    return "\n\n".join([
         table(rows, [("algorithm", "algorithm"), ("offered", "offered"),
                      ("accepted", "accepted"), ("latency", "mean latency")],
               title="Latency vs offered load, 8x8 mesh, uniform traffic, "
                     "4-flit worms"),
         chart,
     ])
-    save_report("latency_load", text)
+
+
+def test_latency_vs_load(benchmark):
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("latency_load", report(curves))
 
     # all schemes deliver the offered load at 0.05
     for algo in curves:
@@ -61,3 +72,8 @@ def test_latency_vs_load(benchmark):
     for algo, points in curves.items():
         lats = [p["mean_latency"] for p in points]
         assert lats[-1] > lats[0]
+
+
+if __name__ == "__main__":
+    sweep_main(lambda **kw: save_report("latency_load", report(run(**kw))),
+               description=__doc__.splitlines()[0])

@@ -10,59 +10,60 @@ but pays a large latency/throughput penalty even fault-free — the
 paper's argument for real fault-tolerant routing.
 """
 
-from repro.experiments import (WorkloadSpec, mesh_fault_sweep, run_workload,
-                               save_report, table)
+from repro.experiments import (WorkloadSpec, mesh_fault_sweep, run_sweep,
+                               save_report, sweep_main, table)
 from repro.sim import Mesh2D
 
+FAULT_FREE = ("nara", "nafta", "spanning_tree")
 
-def run():
+
+def _row(algorithm, faults, res):
+    return {"algorithm": algorithm, "faults": faults,
+            "latency": res["mean_latency"],
+            "hops": res["mean_hops"],
+            "throughput": res["throughput_flits_node_cycle"],
+            "stuck": res["messages_stuck"],
+            "unroutable": res["messages_unroutable"],
+            "misrouted": res["misrouted_fraction"]}
+
+
+def run(workers: int = 0, cache: bool = False):
     rows = []
     # fault-free comparison incl. the spanning-tree baseline
-    for algo in ("nara", "nafta", "spanning_tree"):
-        spec = WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
-                            load=0.10, cycles=2500, warmup=500, seed=21)
-        res = run_workload(spec)
-        rows.append({"algorithm": algo, "faults": 0,
-                     "latency": res["mean_latency"],
-                     "hops": res["mean_hops"],
-                     "throughput": res["throughput_flits_node_cycle"],
-                     "stuck": res["messages_stuck"],
-                     "unroutable": res["messages_unroutable"],
-                     "misrouted": res["misrouted_fraction"]})
+    specs = [WorkloadSpec(topology=Mesh2D(8, 8), algorithm=algo,
+                          load=0.10, cycles=2500, warmup=500, seed=21)
+             for algo in FAULT_FREE]
+    for algo, res in zip(FAULT_FREE,
+                         run_sweep(specs, workers=workers, cache=cache,
+                                   progress=bool(workers),
+                                   label="network_overhead[fault-free]")):
+        rows.append(_row(algo, 0, res))
     # fault sweep for NAFTA
     for res in mesh_fault_sweep("nafta", [2, 4, 8], load=0.10,
-                                cycles=2500, warmup=500):
-        rows.append({"algorithm": "nafta", "faults": res["n_link_faults"],
-                     "latency": res["mean_latency"],
-                     "hops": res["mean_hops"],
-                     "throughput": res["throughput_flits_node_cycle"],
-                     "stuck": res["messages_stuck"],
-                     "unroutable": res["messages_unroutable"],
-                     "misrouted": res["misrouted_fraction"]})
+                                cycles=2500, warmup=500, workers=workers,
+                                cache=cache, progress=bool(workers)):
+        rows.append(_row("nafta", res["n_link_faults"], res))
     # spanning tree under the same faults (the trivial ft baseline)
     for res in mesh_fault_sweep("spanning_tree", [4], load=0.10,
-                                cycles=2500, warmup=500):
-        rows.append({"algorithm": "spanning_tree",
-                     "faults": res["n_link_faults"],
-                     "latency": res["mean_latency"],
-                     "hops": res["mean_hops"],
-                     "throughput": res["throughput_flits_node_cycle"],
-                     "stuck": res["messages_stuck"],
-                     "unroutable": res["messages_unroutable"],
-                     "misrouted": res["misrouted_fraction"]})
+                                cycles=2500, warmup=500, workers=workers,
+                                cache=cache, progress=bool(workers)):
+        rows.append(_row("spanning_tree", res["n_link_faults"], res))
     return rows
 
 
-def test_network_overhead(benchmark):
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    text = table(rows, [("algorithm", "algorithm"), ("faults", "link faults"),
+def report(rows) -> str:
+    return table(rows, [("algorithm", "algorithm"), ("faults", "link faults"),
                         ("latency", "mean latency"), ("hops", "mean hops"),
                         ("throughput", "throughput"), ("stuck", "stuck"),
                         ("unroutable", "unroutable"),
                         ("misrouted", "misrouted frac")],
                  title="Network-level fault tolerance, 8x8 mesh, uniform "
                        "0.10 flits/node/cycle")
-    save_report("network_overhead", text)
+
+
+def test_network_overhead(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("network_overhead", report(rows))
 
     by = {(r["algorithm"], r["faults"]): r for r in rows}
     # (a) fault-free: NAFTA == NARA within noise
@@ -78,3 +79,9 @@ def test_network_overhead(benchmark):
     assert r8["throughput"] > 0.8 * by[("nafta", 0)]["throughput"]
     assert r8["latency"] < 3 * by[("nafta", 0)]["latency"]
     assert r8["misrouted"] > 0  # detours actually happened
+
+
+if __name__ == "__main__":
+    sweep_main(lambda **kw: save_report("network_overhead",
+                                        report(run(**kw))),
+               description=__doc__.splitlines()[0])

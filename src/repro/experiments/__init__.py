@@ -1,15 +1,19 @@
-"""Experiment harness: workload runners, result formatting, and the
-paper's reference numbers."""
+"""Experiment harness: workload runners, the parallel sweep engine,
+result formatting, and the paper's reference numbers."""
 
 from .ascii_chart import line_chart
-from .harness import fmt, results_dir, save_report, table
+from .harness import (add_sweep_args, fmt, results_dir, save_report,
+                      sweep_main, table)
 from .paper_data import PAPER, PAPER_TABLE1, PAPER_TABLE2, paper_table2_row
+from .pool import code_version_token, default_cache_dir, run_sweep
 from .runners import (WorkloadSpec, cube_fault_sweep, decision_time_sweep,
                       latency_vs_load, mesh_fault_sweep, run_workload,
-                      saturation_throughput)
+                      saturation_throughput, sweep_fault_rng)
 
-__all__ = ["line_chart", "fmt", "results_dir", "save_report", "table", "PAPER",
+__all__ = ["line_chart", "add_sweep_args", "fmt", "results_dir",
+           "save_report", "sweep_main", "table", "PAPER",
            "PAPER_TABLE1", "PAPER_TABLE2", "paper_table2_row",
+           "code_version_token", "default_cache_dir", "run_sweep",
            "WorkloadSpec", "cube_fault_sweep", "decision_time_sweep",
            "latency_vs_load", "mesh_fault_sweep", "run_workload",
-           "saturation_throughput"]
+           "saturation_throughput", "sweep_fault_rng"]

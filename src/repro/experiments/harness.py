@@ -7,6 +7,7 @@ EXPERIMENTS.md can reference the exact numbers of the last run.
 
 from __future__ import annotations
 
+import argparse
 import math
 import os
 from pathlib import Path
@@ -30,6 +31,28 @@ def save_report(name: str, text: str, echo: bool = True) -> Path:
     if echo:
         print(f"\n{text}\n[saved to {path}]")
     return path
+
+
+def add_sweep_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """The shared sweep-engine flags every sweep-shaped benchmark CLI
+    exposes: ``--workers N`` fans points out over worker processes,
+    ``--no-cache`` bypasses the content-addressed result cache."""
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="fan sweep points out over N worker "
+                             "processes (0 = in-process serial)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="always simulate; skip the result cache "
+                             "under benchmarks/results/cache/")
+    return parser
+
+
+def sweep_main(run_fn, description: str = "", argv=None) -> None:
+    """Tiny shared ``main()`` for sweep-shaped benchmarks: parse the
+    sweep flags and call ``run_fn(workers=..., cache=...)``."""
+    ap = argparse.ArgumentParser(description=description)
+    add_sweep_args(ap)
+    args = ap.parse_args(argv)
+    run_fn(workers=args.workers, cache=args.cache)
 
 
 def fmt(v) -> str:

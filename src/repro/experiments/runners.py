@@ -3,10 +3,18 @@
 Each runner builds a network, drives a workload, and returns plain-dict
 results so benchmarks can print paper-vs-measured tables and tests can
 assert on shapes (who wins, by what factor, where crossovers fall).
+
+Every sweep-shaped runner expands into a list of independent
+:class:`WorkloadSpec` points and submits them through
+:func:`repro.experiments.pool.run_sweep`, so callers get process-pool
+fan-out and content-addressed result caching with ``workers=N`` /
+``cache=True`` — serially and in-process by default.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -14,14 +22,22 @@ import numpy as np
 from ..routing.registry import make_algorithm
 from ..sim import (FaultSchedule, Mesh2D, Network, SimConfig,
                    TrafficGenerator, Hypercube, random_link_faults)
-from ..sim.flit import reset_message_ids
 from ..sim.network import DeadlockError
-from ..sim.topology import Topology
+from ..sim.topology import Topology, topology_from_dict
 
 
 @dataclass
 class WorkloadSpec:
-    topology: Topology
+    """One simulation point: everything needed to reproduce a run.
+
+    ``topology`` may be a live :class:`Topology` or a description dict
+    (``Topology.describe()`` output).  Live topologies cannot cross
+    process boundaries, so the sweep engine ships ``to_dict()`` to the
+    workers and each worker rebuilds its own topology; the two
+    spellings are equivalent and hash to the same :meth:`spec_key`.
+    """
+
+    topology: Topology | dict
     algorithm: str
     pattern: str = "uniform"
     load: float = 0.1
@@ -34,20 +50,98 @@ class WorkloadSpec:
     fault_links: list = field(default_factory=list)
     fault_nodes: list = field(default_factory=list)
     arbiter: str = "round_robin"
+    drain: bool = True            # run_until_drained after the cycles
+
+    # -- serialization (process boundary / cache identity) ------------
+
+    def topology_desc(self) -> dict:
+        """Canonical construction recipe for the topology."""
+        if isinstance(self.topology, Topology):
+            return self.topology.describe()
+        return dict(self.topology)
+
+    def build_topology(self) -> Topology:
+        """A live topology for this spec (rebuilt if only described)."""
+        if isinstance(self.topology, Topology):
+            return self.topology
+        return topology_from_dict(self.topology)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form.  Fault lists are normalized
+        (canonical link endpoint order, ascending) because fault sets
+        are order-insensitive — every ordering of the same faults is
+        the same experiment and must hash identically."""
+        return {
+            "topology": self.topology_desc(),
+            "algorithm": self.algorithm,
+            "pattern": self.pattern,
+            "load": float(self.load),
+            "message_length": int(self.message_length),
+            "cycles": int(self.cycles),
+            "warmup": int(self.warmup),
+            "seed": int(self.seed),
+            "cycles_per_step": int(self.cycles_per_step),
+            "buffer_depth": int(self.buffer_depth),
+            "fault_links": sorted(
+                [min(int(a), int(b)), max(int(a), int(b))]
+                for a, b in self.fault_links),
+            "fault_nodes": sorted(int(n) for n in self.fault_nodes),
+            "arbiter": self.arbiter,
+            "drain": bool(self.drain),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadSpec":
+        d = dict(d)
+        return cls(
+            topology=topology_from_dict(d["topology"]),
+            algorithm=d["algorithm"],
+            pattern=d.get("pattern", "uniform"),
+            load=float(d.get("load", 0.1)),
+            message_length=int(d.get("message_length", 4)),
+            cycles=int(d.get("cycles", 2000)),
+            warmup=int(d.get("warmup", 400)),
+            seed=int(d.get("seed", 1)),
+            cycles_per_step=int(d.get("cycles_per_step", 0)),
+            buffer_depth=int(d.get("buffer_depth", 4)),
+            fault_links=[(int(a), int(b)) for a, b in d.get("fault_links", [])],
+            fault_nodes=[int(n) for n in d.get("fault_nodes", [])],
+            arbiter=d.get("arbiter", "round_robin"),
+            drain=bool(d.get("drain", True)),
+        )
+
+    def spec_key(self, code_token: str | None = None) -> str:
+        """Content address of this simulation point: a stable hash of
+        the canonical dict plus a code-version token, so cached results
+        are invalidated whenever the spec *or* the simulator/routing
+        code changes."""
+        if code_token is None:
+            from .pool import code_version_token
+            code_token = code_version_token()
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(
+            (code_token + "\n" + blob).encode()).hexdigest()
 
 
-def run_workload(spec: WorkloadSpec, drain: bool = True) -> dict:
-    """One simulation run; returns the stats summary + run metadata."""
-    reset_message_ids()
+def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
+    """One simulation run; returns the stats summary + run metadata.
+
+    ``drain`` overrides ``spec.drain`` when given (legacy call style);
+    the sweep engine always runs with the spec's own setting.
+    """
+    if drain is None:
+        drain = spec.drain
+    topology = spec.build_topology()
     cfg = SimConfig(buffer_depth=spec.buffer_depth,
                     cycles_per_step=max(1, spec.cycles_per_step))
     algo = make_algorithm(spec.algorithm)
-    net = Network(spec.topology, algo, config=cfg, arbiter=spec.arbiter)
+    net = Network(topology, algo, config=cfg, arbiter=spec.arbiter)
     if spec.fault_links or spec.fault_nodes:
         net.schedule_faults(FaultSchedule.static(links=spec.fault_links,
                                                  nodes=spec.fault_nodes))
     net.attach_traffic(TrafficGenerator(
-        spec.topology, spec.pattern, load=spec.load,
+        topology, spec.pattern, load=spec.load,
         message_length=spec.message_length, seed=spec.seed))
     net.set_warmup(spec.warmup)
     deadlocked = False
@@ -58,7 +152,7 @@ def run_workload(spec: WorkloadSpec, drain: bool = True) -> dict:
             net.run_until_drained(max_cycles=300_000)
     except DeadlockError:
         deadlocked = True
-    out = net.stats.summary(spec.topology.n_nodes)
+    out = net.stats.summary(topology.n_nodes)
     out["algorithm"] = spec.algorithm
     out["load"] = spec.load
     out["pattern"] = spec.pattern
@@ -68,16 +162,24 @@ def run_workload(spec: WorkloadSpec, drain: bool = True) -> dict:
     return out
 
 
+def _sweep(specs: list[WorkloadSpec], label: str, workers: int,
+           cache: bool, progress, stats) -> list[dict]:
+    from .pool import run_sweep
+    return run_sweep(specs, workers=workers, cache=cache,
+                     progress=progress, label=label, stats=stats)
+
+
 def latency_vs_load(topology_factory, algorithm: str,
-                    loads: list[float], **kw) -> list[dict]:
+                    loads: list[float], workers: int = 0,
+                    cache: bool = False, progress=False, stats=None,
+                    **kw) -> list[dict]:
     """Latency/throughput curve over offered load (one fresh network
     per point)."""
-    out = []
-    for load in loads:
-        spec = WorkloadSpec(topology=topology_factory(),
-                            algorithm=algorithm, load=load, **kw)
-        out.append(run_workload(spec, drain=False))
-    return out
+    specs = [WorkloadSpec(topology=topology_factory(), algorithm=algorithm,
+                          load=load, drain=False, **kw)
+             for load in loads]
+    return _sweep(specs, f"latency_vs_load[{algorithm}]", workers, cache,
+                  progress, stats)
 
 
 def saturation_throughput(points: list[dict]) -> float:
@@ -86,53 +188,67 @@ def saturation_throughput(points: list[dict]) -> float:
     return max(p["throughput_flits_node_cycle"] for p in points)
 
 
+def sweep_fault_rng(seed: int, n: int) -> np.random.Generator:
+    """Per-point fault RNG for the fault sweeps.  Sequence seeding
+    ``[seed, n]`` keeps every (base seed, point) stream distinct —
+    the additive ``seed + n`` it replaces collided across sweeps with
+    adjacent base seeds (seed 7 point 1 == seed 6 point 2)."""
+    return np.random.default_rng([seed, n])
+
+
 def mesh_fault_sweep(algorithm: str, n_faults_list: list[int],
                      width: int = 8, height: int = 8, seed: int = 7,
-                     **kw) -> list[dict]:
+                     workers: int = 0, cache: bool = False,
+                     progress=False, stats=None, **kw) -> list[dict]:
     """NAFTA-style experiment: fixed moderate load, increasing numbers
     of random (connectivity-preserving) link faults."""
-    out = []
+    specs = []
     for n in n_faults_list:
         topo = Mesh2D(width, height)
-        rng = np.random.default_rng(seed + n)
+        rng = sweep_fault_rng(seed, n)
         links = random_link_faults(topo, n, rng) if n else []
-        spec = WorkloadSpec(topology=topo, algorithm=algorithm,
-                            fault_links=links, seed=seed, **kw)
-        res = run_workload(spec)
+        specs.append(WorkloadSpec(topology=topo, algorithm=algorithm,
+                                  fault_links=links, seed=seed, **kw))
+    out = _sweep(specs, f"mesh_fault_sweep[{algorithm}]", workers, cache,
+                 progress, stats)
+    for res, n in zip(out, n_faults_list):
         res["n_link_faults"] = n
-        out.append(res)
     return out
 
 
 def cube_fault_sweep(algorithm: str, n_faults_list: list[int],
-                     dimension: int = 4, seed: int = 3, **kw) -> list[dict]:
-    out = []
+                     dimension: int = 4, seed: int = 3,
+                     workers: int = 0, cache: bool = False,
+                     progress=False, stats=None, **kw) -> list[dict]:
+    specs = []
     for n in n_faults_list:
         topo = Hypercube(dimension)
-        rng = np.random.default_rng(seed + n)
+        rng = sweep_fault_rng(seed, n)
         nodes = []
         while len(nodes) < n:
             cand = int(rng.integers(0, topo.n_nodes))
             if cand not in nodes:
                 nodes.append(cand)
-        spec = WorkloadSpec(topology=topo, algorithm=algorithm,
-                            fault_nodes=nodes, seed=seed, **kw)
-        res = run_workload(spec)
+        specs.append(WorkloadSpec(topology=topo, algorithm=algorithm,
+                                  fault_nodes=nodes, seed=seed, **kw))
+    out = _sweep(specs, f"cube_fault_sweep[{algorithm}]", workers, cache,
+                 progress, stats)
+    for res, n in zip(out, n_faults_list):
         res["n_node_faults"] = n
-        out.append(res)
     return out
 
 
 def decision_time_sweep(topology_factory, algorithm: str,
                         cycles_per_step_list: list[int],
-                        **kw) -> list[dict]:
+                        workers: int = 0, cache: bool = False,
+                        progress=False, stats=None, **kw) -> list[dict]:
     """The [DLO97] experiment: impact of routing-decision time on
     network latency."""
-    out = []
-    for cps in cycles_per_step_list:
-        spec = WorkloadSpec(topology=topology_factory(),
-                            algorithm=algorithm, cycles_per_step=cps, **kw)
-        res = run_workload(spec)
+    specs = [WorkloadSpec(topology=topology_factory(), algorithm=algorithm,
+                          cycles_per_step=cps, **kw)
+             for cps in cycles_per_step_list]
+    out = _sweep(specs, f"decision_time_sweep[{algorithm}]", workers, cache,
+                 progress, stats)
+    for res, cps in zip(out, cycles_per_step_list):
         res["cycles_per_step"] = cps
-        out.append(res)
     return out

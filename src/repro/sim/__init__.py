@@ -13,7 +13,8 @@ from .network import DeadlockError, Network
 from .router import LOCAL, Router
 from .stats import StatsCollector
 from .topology import (EAST, NORTH, SOUTH, WEST, Hypercube, KAryNCube,
-                       Mesh2D, MeshND, Port, Topology, Torus2D, link_key)
+                       Mesh2D, MeshND, Port, Topology, Torus2D, link_key,
+                       topology_from_dict)
 from .traffic import PATTERNS, TrafficGenerator
 
 __all__ = [
@@ -23,5 +24,5 @@ __all__ = [
     "reset_message_ids", "DeadlockError", "Network", "LOCAL", "Router",
     "StatsCollector", "EAST", "NORTH", "SOUTH", "WEST", "Hypercube",
     "KAryNCube", "Mesh2D", "MeshND", "Port", "Topology", "Torus2D", "link_key",
-    "PATTERNS", "TrafficGenerator",
+    "topology_from_dict", "PATTERNS", "TrafficGenerator",
 ]

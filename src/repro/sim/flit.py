@@ -25,12 +25,22 @@ class FlitKind(IntEnum):
     HEAD_TAIL = 3   # single-flit message
 
 
+# Fallback allocator for messages created outside a Network (unit
+# tests, ad-hoc scripts).  Simulations never touch it: every Network
+# owns a private counter and passes explicit ids to Message.create, so
+# concurrent networks in one process cannot cross-contaminate ids.
 _msg_ids = itertools.count()
 
 
 def reset_message_ids() -> None:
-    """Restart the global message-id counter (used between simulations
-    for reproducible traces)."""
+    """Deprecated shim: restart the module-global fallback counter.
+
+    Message ids are allocated per :class:`~repro.sim.network.Network`
+    since the parallel sweep engine landed; a fresh network always
+    starts at id 0, so between-run resets are no longer needed.  Kept
+    for callers that create bare :class:`Message` objects and want a
+    predictable id sequence.
+    """
     global _msg_ids
     _msg_ids = itertools.count()
 
@@ -94,10 +104,12 @@ class Message:
 
     @classmethod
     def create(cls, src: int, dst: int, length: int, cycle: int,
-               **fields) -> "Message":
+               msg_id: int | None = None, **fields) -> "Message":
         if length < 1:
             raise ValueError("message length must be >= 1 flit")
-        hdr = Header(msg_id=next(_msg_ids), src=src, dst=dst,
+        if msg_id is None:
+            msg_id = next(_msg_ids)
+        hdr = Header(msg_id=msg_id, src=src, dst=dst,
                      length=length, created=cycle, fields=dict(fields))
         return cls(header=hdr)
 

@@ -18,6 +18,7 @@ situation the paper notes must otherwise be solved by re-injection.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -88,6 +89,11 @@ class Network:
         self._active: set[int] = set()
         self._active_sources: set[int] = set()
         self.sources = [_SourceState() for _ in topology.nodes()]
+        # private message-id allocator: every network numbers its
+        # messages from 0, so concurrent networks in one process (and
+        # sweep points fanned out over worker processes) produce
+        # identical, isolated id sequences
+        self._msg_ids = itertools.count()
         self.messages: dict[int, Message] = {}
         self.fault_schedule = FaultSchedule()
         self.traffic = None
@@ -133,7 +139,8 @@ class Network:
         if not self.algorithm.accepts(src, dst):
             self.stats.count_unroutable()
             return None
-        msg = Message.create(src, dst, length, self.cycle, **fields)
+        msg = Message.create(src, dst, length, self.cycle,
+                             msg_id=next(self._msg_ids), **fields)
         self.messages[msg.header.msg_id] = msg
         self.sources[src].queue.append(msg)
         self._active_sources.add(src)

@@ -53,6 +53,15 @@ class Topology:
         self._built = False
         self._neighbor_cache: dict[int, list[int]] = {}
 
+    def describe(self) -> dict:
+        """JSON-able construction recipe: ``{"kind": ..., <params>}``.
+
+        Descriptions — not live topologies — are what crosses process
+        boundaries (and what result-cache keys hash); rebuild with
+        :func:`topology_from_dict`.
+        """
+        raise NotImplementedError
+
     # -- subclass interface ---------------------------------------------
 
     @property
@@ -131,6 +140,10 @@ class Mesh2D(Topology):
         # minimal_ports is pure geometry (faults never shrink it), so
         # it is memoized per (node, dest) pair across the whole run
         self._minimal_cache: dict[int, list[int]] = {}
+
+    def describe(self) -> dict:
+        return {"kind": self.name, "width": self.width,
+                "height": self.height}
 
     @property
     def n_nodes(self) -> int:
@@ -247,6 +260,9 @@ class Hypercube(Topology):
         super().__init__()
         self.dimension = dimension
 
+    def describe(self) -> dict:
+        return {"kind": self.name, "dimension": self.dimension}
+
     @property
     def n_nodes(self) -> int:
         return 1 << self.dimension
@@ -280,6 +296,9 @@ class MeshND(Topology):
             raise ValueError("mesh dimensions must be positive")
         super().__init__()
         self.dims = tuple(int(d) for d in dims)
+
+    def describe(self) -> dict:
+        return {"kind": self.name, "dims": list(self.dims)}
 
     @property
     def n_nodes(self) -> int:
@@ -349,6 +368,9 @@ class KAryNCube(Topology):
         self.k = k
         self.n = n
 
+    def describe(self) -> dict:
+        return {"kind": self.name, "k": self.k, "n": self.n}
+
     @property
     def n_nodes(self) -> int:
         return self.k ** self.n
@@ -389,3 +411,26 @@ class KAryNCube(Topology):
             d = abs(x - y)
             total += min(d, self.k - d)
         return total
+
+
+_TOPOLOGY_KINDS = {
+    "mesh2d": lambda d: Mesh2D(int(d["width"]), int(d["height"])),
+    "torus2d": lambda d: Torus2D(int(d["width"]), int(d["height"])),
+    "hypercube": lambda d: Hypercube(int(d["dimension"])),
+    "meshnd": lambda d: MeshND(tuple(int(x) for x in d["dims"])),
+    "karyncube": lambda d: KAryNCube(int(d["k"]), int(d["n"])),
+}
+
+
+def topology_from_dict(desc: dict) -> Topology:
+    """Rebuild a topology from a :meth:`Topology.describe` recipe."""
+    try:
+        kind = desc["kind"]
+    except (TypeError, KeyError):
+        raise ValueError(f"not a topology description: {desc!r}") from None
+    try:
+        build = _TOPOLOGY_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown topology kind {kind!r}; choose from "
+                         f"{sorted(_TOPOLOGY_KINDS)}") from None
+    return build(desc)

@@ -6,17 +6,26 @@ Usage::
         --load 0.15 --cycles 3000 --link-faults 4 --seed 7
     python -m repro.tools.simulate --topology cube4 --algorithm route_c \
         --node-faults 2 --pattern uniform
+    python -m repro.tools.simulate --sweep-seeds 8 --workers 4
+
+``--sweep-seeds N`` replays the same scenario under N consecutive
+traffic seeds through the parallel sweep engine (honouring
+``--workers`` / ``--no-cache``) and reports per-seed rows plus the
+aggregate, for confidence intervals on any single-point result.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import re
 import sys
+from dataclasses import replace
 
 import numpy as np
 
-from ..experiments import WorkloadSpec, fmt, run_workload
+from ..experiments import (WorkloadSpec, add_sweep_args, fmt, run_sweep,
+                           run_workload, table)
 from ..routing.registry import ALGORITHMS
 from ..sim import Hypercube, Mesh2D, Torus2D, random_link_faults
 from ..sim.traffic import PATTERNS
@@ -60,6 +69,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--arbiter", default="round_robin",
                     choices=["round_robin", "misrouted_first",
                              "oldest_first"])
+    ap.add_argument("--sweep-seeds", type=int, default=1, metavar="N",
+                    help="replay the scenario under N consecutive "
+                         "traffic seeds via the sweep engine")
+    add_sweep_args(ap)
     args = ap.parse_args(argv)
 
     topo = parse_topology(args.topology)
@@ -78,16 +91,46 @@ def main(argv: list[str] | None = None) -> int:
         cycles=args.cycles, warmup=args.warmup, seed=args.seed,
         cycles_per_step=args.cycles_per_step, fault_links=fault_links,
         fault_nodes=fault_nodes, arbiter=args.arbiter)
+
+    banner = (f"{args.topology} / {args.algorithm} / {args.pattern} "
+              f"@ {args.load} flits/node/cycle, {spec.cycles} cycles"
+              + (f", {len(fault_links)} link faults" if fault_links else "")
+              + (f", {len(fault_nodes)} node faults" if fault_nodes else ""))
+
+    if args.sweep_seeds > 1:
+        specs = [replace(spec, seed=args.seed + i)
+                 for i in range(args.sweep_seeds)]
+        try:
+            results = run_sweep(specs, workers=args.workers,
+                                cache=args.cache, progress=True,
+                                label="simulate")
+        except Exception as exc:  # pragma: no cover - CLI surface
+            print(f"simulate: {exc}", file=sys.stderr)
+            return 1
+        print(banner + f", {args.sweep_seeds} seeds")
+        rows = [{"seed": s.seed, "latency": r["mean_latency"],
+                 "p99": r["p99_latency"],
+                 "throughput": r["throughput_flits_node_cycle"],
+                 "delivered": r["messages_delivered"]}
+                for s, r in zip(specs, results)]
+        print(table(rows, [("seed", "seed"), ("latency", "mean latency"),
+                           ("p99", "p99"), ("throughput", "throughput"),
+                           ("delivered", "delivered")]))
+        lats = [r["latency"] for r in rows if not math.isnan(r["latency"])]
+        if lats:
+            mean = sum(lats) / len(lats)
+            var = sum((x - mean) ** 2 for x in lats) / len(lats)
+            print(f"  mean latency over seeds: {fmt(mean)} "
+                  f"+/- {fmt(math.sqrt(var))}")
+        return 0
+
     try:
         res = run_workload(spec)
     except Exception as exc:  # pragma: no cover - CLI surface
         print(f"simulate: {exc}", file=sys.stderr)
         return 1
 
-    print(f"{args.topology} / {args.algorithm} / {args.pattern} "
-          f"@ {args.load} flits/node/cycle, {spec.cycles} cycles"
-          + (f", {len(fault_links)} link faults" if fault_links else "")
-          + (f", {len(fault_nodes)} node faults" if fault_nodes else ""))
+    print(banner)
     for key in ("messages_delivered", "messages_measured", "mean_latency",
                 "p99_latency", "mean_hops", "throughput_flits_node_cycle",
                 "misrouted_fraction", "mean_decision_steps",
