@@ -2,6 +2,7 @@
 result formatting, and the paper's reference numbers."""
 
 from .ascii_chart import line_chart
+from .campaign import campaign_table, make_scenario, run_campaign
 from .harness import (add_sweep_args, fmt, results_dir, save_report,
                       sweep_main, table)
 from .paper_data import PAPER, PAPER_TABLE1, PAPER_TABLE2, paper_table2_row
@@ -10,7 +11,8 @@ from .runners import (WorkloadSpec, cube_fault_sweep, decision_time_sweep,
                       latency_vs_load, mesh_fault_sweep, run_workload,
                       saturation_throughput, sweep_fault_rng)
 
-__all__ = ["line_chart", "add_sweep_args", "fmt", "results_dir",
+__all__ = ["line_chart", "campaign_table", "make_scenario", "run_campaign",
+           "add_sweep_args", "fmt", "results_dir",
            "save_report", "sweep_main", "table", "PAPER",
            "PAPER_TABLE1", "PAPER_TABLE2", "paper_table2_row",
            "code_version_token", "default_cache_dir", "run_sweep",

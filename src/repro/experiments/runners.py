@@ -51,6 +51,15 @@ class WorkloadSpec:
     fault_nodes: list = field(default_factory=list)
     arbiter: str = "round_robin"
     drain: bool = True            # run_until_drained after the cycles
+    # -- reliability knobs (defaults reproduce the classic behaviour) --
+    fault_mode: str = "quiesce"
+    detection_delay: int = 0
+    diagnosis_hop_delay: int = 0
+    retry_limit: int = 0
+    retry_backoff: int = 16
+    hop_budget: int = 0
+    #: mid-flight faults: (cycle, "link", (a, b)) / (cycle, "node", n)
+    timed_faults: list = field(default_factory=list)
 
     # -- serialization (process boundary / cache identity) ------------
 
@@ -88,6 +97,17 @@ class WorkloadSpec:
             "fault_nodes": sorted(int(n) for n in self.fault_nodes),
             "arbiter": self.arbiter,
             "drain": bool(self.drain),
+            "fault_mode": self.fault_mode,
+            "detection_delay": int(self.detection_delay),
+            "diagnosis_hop_delay": int(self.diagnosis_hop_delay),
+            "retry_limit": int(self.retry_limit),
+            "retry_backoff": int(self.retry_backoff),
+            "hop_budget": int(self.hop_budget),
+            "timed_faults": sorted(
+                [int(cycle), "link",
+                 [min(int(t[0]), int(t[1])), max(int(t[0]), int(t[1]))]]
+                if kind == "link" else [int(cycle), "node", int(t)]
+                for cycle, kind, t in self.timed_faults),
         }
 
     @classmethod
@@ -108,6 +128,16 @@ class WorkloadSpec:
             fault_nodes=[int(n) for n in d.get("fault_nodes", [])],
             arbiter=d.get("arbiter", "round_robin"),
             drain=bool(d.get("drain", True)),
+            fault_mode=d.get("fault_mode", "quiesce"),
+            detection_delay=int(d.get("detection_delay", 0)),
+            diagnosis_hop_delay=int(d.get("diagnosis_hop_delay", 0)),
+            retry_limit=int(d.get("retry_limit", 0)),
+            retry_backoff=int(d.get("retry_backoff", 16)),
+            hop_budget=int(d.get("hop_budget", 0)),
+            timed_faults=[
+                (int(cycle), kind,
+                 (int(t[0]), int(t[1])) if kind == "link" else int(t))
+                for cycle, kind, t in d.get("timed_faults", [])],
         )
 
     def spec_key(self, code_token: str | None = None) -> str:
@@ -134,12 +164,24 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
         drain = spec.drain
     topology = spec.build_topology()
     cfg = SimConfig(buffer_depth=spec.buffer_depth,
-                    cycles_per_step=max(1, spec.cycles_per_step))
+                    cycles_per_step=max(1, spec.cycles_per_step),
+                    fault_mode=spec.fault_mode,
+                    detection_delay=spec.detection_delay,
+                    diagnosis_hop_delay=spec.diagnosis_hop_delay,
+                    retry_limit=spec.retry_limit,
+                    retry_backoff=spec.retry_backoff,
+                    hop_budget=spec.hop_budget)
     algo = make_algorithm(spec.algorithm)
     net = Network(topology, algo, config=cfg, arbiter=spec.arbiter)
-    if spec.fault_links or spec.fault_nodes:
-        net.schedule_faults(FaultSchedule.static(links=spec.fault_links,
-                                                 nodes=spec.fault_nodes))
+    if spec.fault_links or spec.fault_nodes or spec.timed_faults:
+        schedule = FaultSchedule.static(links=spec.fault_links,
+                                        nodes=spec.fault_nodes)
+        for cycle, kind, target in spec.timed_faults:
+            if kind == "link":
+                schedule.add_link_fault(cycle, *target)
+            else:
+                schedule.add_node_fault(cycle, target)
+        net.schedule_faults(schedule)
     net.attach_traffic(TrafficGenerator(
         topology, spec.pattern, load=spec.load,
         message_length=spec.message_length, seed=spec.seed))
@@ -159,7 +201,34 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
     out["deadlocked"] = deadlocked
     out["undelivered"] = len(net.undelivered())
     out["n_faults"] = net.faults.n_faults()
+    out.update(_logical_accounting(net))
     return out
+
+
+def _logical_accounting(net: Network) -> dict:
+    """End-to-end reliability per *logical* message: the original send
+    and all its retransmissions share one root id, so one root counts
+    delivered if any copy arrived.  A root that was neither delivered
+    nor dead-lettered (an accounted give-up) is *silent loss* — the
+    failure class the retry machinery exists to eliminate."""
+    roots: set[int] = set()
+    delivered: set[int] = set()
+    for m in net.messages.values():
+        fields = m.header.fields
+        # root_id (retry machinery) or retry_of (legacy one-shot
+        # retransmit_dropped copies) name the originating send
+        root = int(fields.get("root_id",
+                              fields.get("retry_of", m.header.msg_id)))
+        if "retry_of" not in m.header.fields:
+            roots.add(root)
+        if m.delivered:
+            delivered.add(root)
+    dead = set(net.dead_letters)
+    return {
+        "messages_created_logical": len(roots),
+        "messages_delivered_logical": len(delivered),
+        "silent_loss": len(roots - delivered - dead),
+    }
 
 
 def _sweep(specs: list[WorkloadSpec], label: str, workers: int,

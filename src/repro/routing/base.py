@@ -82,9 +82,21 @@ class RoutingAlgorithm:
     def reset(self, network: "Network") -> None:
         """(Re)build per-node state at simulation start."""
 
-    def on_fault_update(self, network: "Network") -> None:
+    def on_fault_update(self, network: "Network",
+                        nodes: list[int] | None = None) -> None:
         """Diagnosis phase: recompute distributed fault knowledge after
-        the fault set changed (runs atomically, assumption iv)."""
+        the fault set changed.
+
+        With instant diagnosis this runs atomically (assumption iv) and
+        ``nodes`` is None — every node's knowledge changed at once.
+        With the hop-by-hop diagnosis protocol
+        (``SimConfig.diagnosis_hop_delay``) it runs when a notification
+        flood *converges* and ``nodes`` lists the node ids the flood
+        reached — the nodes whose local view
+        (``network.fault_view(node)``) changed.  Algorithms may use it
+        to scope partial recomputation; recomputing everything from
+        ``network.known_faults`` stays correct, since the converged
+        views and the known set agree."""
 
     # -- the decision ------------------------------------------------------
 

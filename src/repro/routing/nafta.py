@@ -65,7 +65,7 @@ class NaftaRouting(RoutingAlgorithm):
         self.fault_map = MeshFaultMap(network.topology,
                                       network.known_faults)
 
-    def on_fault_update(self, network) -> None:
+    def on_fault_update(self, network, nodes=None) -> None:
         assert self.fault_map is not None
         self.fault_map.recompute()
 

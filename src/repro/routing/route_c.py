@@ -166,7 +166,7 @@ class RouteCRouting(RoutingAlgorithm):
         self.state_map = CubeStateMap(network.topology,
                                       network.known_faults)
 
-    def on_fault_update(self, network) -> None:
+    def on_fault_update(self, network, nodes=None) -> None:
         assert self.state_map is not None
         self.state_map.recompute()
 

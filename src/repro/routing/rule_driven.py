@@ -89,7 +89,7 @@ class RuleDrivenNafta(RoutingAlgorithm):
         run = self.engines[port.neighbor].registers.read("runc", (dir_,))
         return "ok", int(run)
 
-    def on_fault_update(self, network) -> None:
+    def on_fault_update(self, network, nodes=None) -> None:
         """Diagnosis phase: drive the state rule bases to fixpoint."""
         topo: Mesh2D = network.topology
         # 1. local failures enter through fault_occured
@@ -292,7 +292,7 @@ class RuleDrivenRouteC(RoutingAlgorithm):
             return "lfault"
         return self.engines[node].registers.read("state")
 
-    def on_fault_update(self, network) -> None:
+    def on_fault_update(self, network, nodes=None) -> None:
         topo = network.topology
         for eng in self.engines:
             eng.reset_state()

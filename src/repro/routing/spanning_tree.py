@@ -45,7 +45,7 @@ class SpanningTreeRouting(RoutingAlgorithm):
     def reset(self, network) -> None:
         self._rebuild(network)
 
-    def on_fault_update(self, network) -> None:
+    def on_fault_update(self, network, nodes=None) -> None:
         self._rebuild(network)
 
     def _rebuild(self, network) -> None:

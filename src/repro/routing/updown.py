@@ -52,7 +52,7 @@ class UpDownRouting(RoutingAlgorithm):
         self.network = network
         self._reconfigure(network)
 
-    def on_fault_update(self, network) -> None:
+    def on_fault_update(self, network, nodes=None) -> None:
         self._reconfigure(network)
 
     # -- configuration: order + reachability -------------------------------

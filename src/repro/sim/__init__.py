@@ -7,11 +7,14 @@ synthetic traffic, and statistics.
 
 from .arbiter import Arbiter, MisroutedFirstArbiter, OldestFirstArbiter, make_arbiter
 from .config import SimConfig
-from .faults import FaultEvent, FaultSchedule, FaultState, random_link_faults
+from .diagnosis import DiagnosisEngine
+from .faults import (FaultEvent, FaultSchedule, FaultState,
+                     random_link_faults, random_node_faults)
 from .flit import Flit, FlitKind, Header, Message, reset_message_ids
 from .network import DeadlockError, Network
 from .router import LOCAL, Router
 from .stats import StatsCollector
+from .watchdog import StallDiagnosis, StalledWorm, diagnose_stall
 from .topology import (EAST, NORTH, SOUTH, WEST, Hypercube, KAryNCube,
                        Mesh2D, MeshND, Port, Topology, Torus2D, link_key,
                        topology_from_dict)
@@ -19,10 +22,12 @@ from .traffic import PATTERNS, TrafficGenerator
 
 __all__ = [
     "Arbiter", "MisroutedFirstArbiter", "OldestFirstArbiter", "make_arbiter",
-    "SimConfig", "FaultEvent", "FaultSchedule", "FaultState",
-    "random_link_faults", "Flit", "FlitKind", "Header", "Message",
-    "reset_message_ids", "DeadlockError", "Network", "LOCAL", "Router",
-    "StatsCollector", "EAST", "NORTH", "SOUTH", "WEST", "Hypercube",
-    "KAryNCube", "Mesh2D", "MeshND", "Port", "Topology", "Torus2D", "link_key",
-    "topology_from_dict", "PATTERNS", "TrafficGenerator",
+    "SimConfig", "DiagnosisEngine", "FaultEvent", "FaultSchedule",
+    "FaultState", "random_link_faults", "random_node_faults", "Flit",
+    "FlitKind", "Header", "Message", "reset_message_ids", "DeadlockError",
+    "Network", "LOCAL", "Router", "StatsCollector", "StallDiagnosis",
+    "StalledWorm", "diagnose_stall", "EAST", "NORTH", "SOUTH", "WEST",
+    "Hypercube", "KAryNCube", "Mesh2D", "MeshND", "Port", "Topology",
+    "Torus2D", "link_key", "topology_from_dict", "PATTERNS",
+    "TrafficGenerator",
 ]

@@ -13,6 +13,11 @@ class SimConfig:
     cycles (paper Section 4.3 delay model: one step = wiring + 2 x FCFB
     + one table access; with the default 1998-era numbers that fits one
     10 ns router cycle).  The decision-time benchmarks sweep it.
+
+    The reliability layer is opt-in and neutral when disabled: with
+    ``detection_delay=0``, ``diagnosis_hop_delay=0``, ``retry_limit=0``
+    and ``hop_budget=0`` (the defaults) the simulator behaves
+    bit-for-bit like the pre-reliability code paths.
     """
 
     buffer_depth: int = 4          # flits per virtual-channel buffer
@@ -20,10 +25,23 @@ class SimConfig:
     injection_vc: int = 0          # local-port VC messages enter through
     fault_mode: str = "quiesce"    # "quiesce" honours assumption iv;
     #                                "harsh" kills worms on dying links
-    retransmit_dropped: bool = False
+    retransmit_dropped: bool = False  # legacy: immediate re-offer of a
+    #                                   ripped-up message, no backoff
     detection_delay: int = 0       # cycles between a fault occurring and
     #                                the Information Units confirming it
     #                                (heartbeat detection; harsh mode only)
+    diagnosis_hop_delay: int = 0   # cycles per hop for the fault-
+    #                                notification flood (0 = instant
+    #                                global knowledge, the legacy model;
+    #                                harsh mode only)
+    retry_limit: int = 0           # max source-retransmission attempts per
+    #                                message (0 = retries disabled)
+    retry_backoff: int = 16        # base backoff in cycles; attempt k
+    #                                waits retry_backoff * 2**(k-1) after
+    #                                the source's view confirms the fault
+    hop_budget: int = 0            # livelock guard: a message exceeding
+    #                                this many hops is declared stuck
+    #                                (0 = disabled)
     trace_paths: bool = False      # record per-message node paths
     deadlock_threshold: int = 2000  # cycles without progress => deadlock
     active_scheduling: bool = True  # iterate only routers holding flits
@@ -44,3 +62,19 @@ class SimConfig:
             raise ValueError("detection_delay needs fault_mode='harsh' "
                              "(quiesce mode models instantaneous, "
                              "message-safe diagnosis)")
+        if self.diagnosis_hop_delay < 0:
+            raise ValueError("diagnosis_hop_delay must be >= 0")
+        if self.diagnosis_hop_delay and self.fault_mode != "harsh":
+            raise ValueError("diagnosis_hop_delay needs fault_mode='harsh' "
+                             "(quiesce mode quiesces the network for an "
+                             "atomic, global diagnosis phase)")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if self.retry_backoff < 1:
+            raise ValueError("retry_backoff must be >= 1 cycle")
+        if self.hop_budget < 0:
+            raise ValueError("hop_budget must be >= 0")
+        if self.retry_limit and self.retransmit_dropped:
+            raise ValueError("retry_limit and the legacy "
+                             "retransmit_dropped are mutually exclusive; "
+                             "use retry_limit")

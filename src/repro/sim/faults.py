@@ -68,6 +68,15 @@ class FaultState:
         self.dead_nodes.add(node)
         self._invalidate()
 
+    def repair_link(self, a: int, b: int) -> None:
+        """Undo a link fault (what-if exploration and repair events)."""
+        self.dead_links.discard(link_key(a, b))
+        self._invalidate()
+
+    def repair_node(self, node: int) -> None:
+        self.dead_nodes.discard(node)
+        self._invalidate()
+
     def apply(self, event: FaultEvent) -> None:
         if event.kind == "link":
             a, b = event.target  # type: ignore[misc]
@@ -139,9 +148,18 @@ class FaultState:
 
 @dataclass
 class FaultSchedule:
-    """Time-ordered fault injections for a simulation run."""
+    """Time-ordered fault injections for a simulation run.
+
+    ``due`` is answered from a cycle-keyed index built once and rebuilt
+    lazily whenever ``events`` grew — the simulator asks it every cycle
+    of every run, and the old full-list scan showed up in profiles of
+    long chaos campaigns.
+    """
 
     events: list[FaultEvent] = field(default_factory=list)
+    _by_cycle: dict[int, list[FaultEvent]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _n_indexed: int = field(default=0, init=False, repr=False, compare=False)
 
     def add_link_fault(self, cycle: int, a: int, b: int) -> "FaultSchedule":
         self.events.append(FaultEvent(cycle, "link", link_key(a, b)))
@@ -152,10 +170,37 @@ class FaultSchedule:
         return self
 
     def due(self, cycle: int) -> list[FaultEvent]:
-        return [e for e in self.events if e.cycle == cycle]
+        if self._n_indexed != len(self.events):
+            index: dict[int, list[FaultEvent]] = {}
+            for e in self.events:
+                index.setdefault(e.cycle, []).append(e)
+            self._by_cycle = index
+            self._n_indexed = len(self.events)
+        return self._by_cycle.get(cycle, [])
 
     def last_cycle(self) -> int:
         return max((e.cycle for e in self.events), default=-1)
+
+    def validate(self, topology: Topology) -> None:
+        """Fail fast at setup time if any event targets a link or node
+        the topology does not have (instead of mid-run at the fault
+        instant, deep inside a simulation)."""
+        links = topology.links()
+        for e in self.events:
+            if e.cycle < 0:
+                raise ValueError(f"fault event at negative cycle {e.cycle}")
+            if e.kind == "link":
+                a, b = e.target  # type: ignore[misc]
+                if link_key(a, b) not in links:
+                    raise ValueError(
+                        f"fault schedule targets link {link_key(a, b)} "
+                        f"which is not in the topology")
+            else:
+                node = int(e.target)  # type: ignore[arg-type]
+                if not 0 <= node < topology.n_nodes:
+                    raise ValueError(
+                        f"fault schedule targets node {node} but the "
+                        f"topology has nodes 0..{topology.n_nodes - 1}")
 
     @classmethod
     def static(cls, links=(), nodes=()) -> "FaultSchedule":
@@ -188,13 +233,37 @@ def random_link_faults(topology: Topology, n: int, rng,
         link = links[idx]
         if link in state.dead_links:
             continue
-        state.dead_links.add(link)
-        state._invalidate()
+        state.fail_link(*link)
         if keep_connected and not _all_connected(state):
-            state.dead_links.discard(link)
-            state._invalidate()
+            state.repair_link(*link)
             continue
         chosen.append(link)
+    return chosen
+
+
+def random_node_faults(topology: Topology, n: int, rng,
+                       keep_connected: bool = True,
+                       max_tries: int = 2000) -> list[int]:
+    """Draw n distinct random node faults; with ``keep_connected`` the
+    *surviving* nodes stay mutually reachable (the standard setup for
+    node-fault experiments — partitions measure topology, not
+    routing)."""
+    chosen: list[int] = []
+    state = FaultState(topology)
+    tries = 0
+    while len(chosen) < n:
+        tries += 1
+        if tries > max_tries:
+            raise RuntimeError(f"could not place {n} node faults while "
+                               f"keeping the survivors connected")
+        node = int(rng.integers(0, topology.n_nodes))
+        if node in state.dead_nodes:
+            continue
+        state.fail_node(node)
+        if keep_connected and not _all_connected(state):
+            state.repair_node(node)
+            continue
+        chosen.append(node)
     return chosen
 
 

@@ -14,6 +14,20 @@ pauses and the network drains before a dynamic fault is applied and the
 routing algorithm's distributed state is recomputed atomically.  The
 ``harsh`` mode instead rips up worms caught on the dying link — the
 situation the paper notes must otherwise be solved by re-injection.
+
+The reliability layer (all opt-in, see :class:`~repro.sim.config.
+SimConfig`) refines the harsh mode into an end-to-end story:
+
+* ``diagnosis_hop_delay`` replaces the instant global fault knowledge
+  with per-node fault views updated by a hop-by-hop notification flood
+  (:mod:`repro.sim.diagnosis`); the algorithm's distributed state is
+  recomputed when the flood converges;
+* ``retry_limit``/``retry_backoff`` return ripped-up or stranded
+  messages to their source and retransmit them with exponential
+  backoff once the source's local view confirms the fault, with
+  dead-letter accounting when the attempt cap is exhausted;
+* a stall raises a :class:`DeadlockError` carrying a structured
+  :class:`~repro.sim.watchdog.StallDiagnosis` instead of a bare string.
 """
 
 from __future__ import annotations
@@ -21,9 +35,11 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING
 
 from .config import SimConfig
+from .diagnosis import DiagnosisEngine
 from .faults import FaultSchedule, FaultState
 from .flit import Flit, Message
 from .router import LOCAL, Router
@@ -33,6 +49,7 @@ from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..routing.base import RoutingAlgorithm
+    from .watchdog import StallDiagnosis
 
 
 class DeliveryError(RuntimeError):
@@ -43,7 +60,15 @@ class DeliveryError(RuntimeError):
 class DeadlockError(RuntimeError):
     """No flit moved for ``deadlock_threshold`` cycles while worms were
     in flight — a routing-algorithm deadlock (or a livelock so slow it
-    is indistinguishable from one)."""
+    is indistinguishable from one).  ``diagnosis`` carries the
+    structured :class:`~repro.sim.watchdog.StallDiagnosis` when the
+    stall happened inside a live network (None for e.g. a failed
+    quiesce drain guard)."""
+
+    def __init__(self, message: str,
+                 diagnosis: "StallDiagnosis | None" = None):
+        super().__init__(message)
+        self.diagnosis = diagnosis
 
 
 @dataclass
@@ -63,15 +88,30 @@ class Network:
         self.config = config or SimConfig()
         self.faults = FaultState(topology)
         # the routers' *knowledge* of the fault set: an alias of the
-        # ground truth unless a detection delay is configured, in which
-        # case the Information Units confirm faults only after the
-        # heartbeat timeout (paper Fig. 3: "they could produce and
-        # check heartbeat messages")
-        if self.config.detection_delay:
+        # ground truth unless a detection delay or a per-node diagnosis
+        # protocol is configured, in which case the Information Units
+        # confirm faults only after the heartbeat timeout (paper
+        # Fig. 3: "they could produce and check heartbeat messages")
+        # and/or the notification flood
+        if self.config.detection_delay or self.config.diagnosis_hop_delay:
             self.known_faults = FaultState(topology)
         else:
             self.known_faults = self.faults
+        # per-node fault views updated by hop-by-hop flooding; None
+        # means instant global knowledge (fault_view() then answers
+        # every node with known_faults)
+        self.diagnosis: DiagnosisEngine | None = None
+        if self.config.diagnosis_hop_delay:
+            self.diagnosis = DiagnosisEngine(
+                topology, self.faults, self.config.diagnosis_hop_delay)
         self._pending_detections: list[tuple[int, object]] = []
+        # source-retransmission queue: (release_cycle, seq, src, dst,
+        # length, header fields) min-heap; seq keeps ties stable
+        self._pending_retries: list[tuple] = []
+        self._retry_seq = itertools.count()
+        #: root msg_ids that exhausted their retry budget (or whose
+        #: source can never learn of / route around the fault)
+        self.dead_letters: list[int] = []
         self.stats = StatsCollector()
         self.cycle = 0
         # advances whenever buffer contents or VC ownership change;
@@ -110,16 +150,27 @@ class Network:
         self.traffic = traffic
 
     def schedule_faults(self, schedule: FaultSchedule) -> None:
+        schedule.validate(self.topology)
         self.fault_schedule = schedule
         for ev in schedule.due(0):
             self._apply_fault_now(ev)
             if self.known_faults is not self.faults:
                 # faults present at boot are already diagnosed: the
-                # detection delay models *dynamic* failures only
+                # detection delay / flood model *dynamic* failures only
                 self.known_faults.apply(ev)
+            if self.diagnosis is not None:
+                self.diagnosis.seed_boot(ev)
         if schedule.due(0):
             self.route_epoch += 1
             self.algorithm.on_fault_update(self)
+
+    def fault_view(self, node: int) -> FaultState:
+        """The fault set as *this node* currently knows it.  With the
+        diagnosis protocol disabled every node shares the global
+        ``known_faults`` (instant flooding)."""
+        if self.diagnosis is not None:
+            return self.diagnosis.views[node]
+        return self.known_faults
 
     def set_warmup(self, cycles: int) -> None:
         self.stats.warmup = cycles
@@ -129,11 +180,16 @@ class Network:
     def offer(self, src: int, dst: int, length: int, **fields) -> Message | None:
         """Create a message at a source node.  Honours assumption iii:
         messages to dead or disconnected destinations are refused and
-        counted as unroutable."""
+        counted as unroutable.  With the per-node diagnosis protocol
+        the *source's local view* does the screening — a source that
+        has not yet heard of a fault will happily inject into it (and
+        the message is then ripped up and retransmitted)."""
         if not self.faults.node_ok(src):
             self.stats.count_unroutable()
             return None
-        if not self.faults.node_ok(dst) or not self.faults.connected(src, dst):
+        screen = (self.faults if self.diagnosis is None
+                  else self.diagnosis.views[src])
+        if not screen.node_ok(dst) or not screen.connected(src, dst):
             self.stats.count_unroutable()
             return None
         if not self.algorithm.accepts(src, dst):
@@ -200,6 +256,11 @@ class Network:
                     f"message {msg.header.msg_id} for node {msg.header.dst} "
                     f"was delivered at node {node}")
             self.stats.count_message(msg)
+            first_dropped = msg.header.fields.get("first_dropped")
+            if first_dropped is not None:
+                # a retransmitted copy made it: time-to-recover is the
+                # first rip-up of the original to this delivery
+                self.stats.count_recovery(cycle - int(first_dropped))
 
     # -- cycle loop ---------------------------------------------------------------------
 
@@ -216,6 +277,15 @@ class Network:
                 (c, e) for c, e in self._pending_detections if c > self.cycle]
             for ev in due:
                 self._confirm_fault(ev)
+        if self.diagnosis is not None and self.diagnosis.pending():
+            for ev, reached in self.diagnosis.deliver_due(self.cycle):
+                # the flood converged: the fault is globally diagnosed
+                self.known_faults.apply(ev)
+                self.route_epoch += 1
+                self._last_progress = self.cycle
+                self.algorithm.on_fault_update(self, nodes=reached)
+        if self._pending_retries:
+            self._release_due_retries()
         routers = self._live_routers()
         for r in routers:
             r.flush_incoming()
@@ -230,12 +300,26 @@ class Network:
             self._last_progress = self.cycle
         elif self._flits_in_flight() and (
                 self.cycle - self._last_progress
-                > self.config.deadlock_threshold):
+                > self.config.deadlock_threshold) \
+                and not self._stall_excused():
+            diag = self._diagnose_stall()
             raise DeadlockError(
-                f"no progress since cycle {self._last_progress} with "
-                f"{self._flits_in_flight()} flits in flight "
-                f"(algorithm {self.algorithm.name})")
+                f"algorithm {self.algorithm.name}: " + diag.describe(),
+                diagnosis=diag)
         self.cycle += 1
+
+    def _stall_excused(self) -> bool:
+        """Worms legitimately park while a fault detection or a
+        notification flood is outstanding — the watchdog waits for the
+        diagnosis machinery to finish before calling a stall a
+        deadlock."""
+        if self._pending_detections:
+            return True
+        return self.diagnosis is not None and self.diagnosis.pending()
+
+    def _diagnose_stall(self) -> "StallDiagnosis":
+        from .watchdog import diagnose_stall
+        return diagnose_stall(self)
 
     def _live_routers(self) -> list[Router]:
         """The routers that can act this cycle.  With active scheduling
@@ -301,13 +385,19 @@ class Network:
             self.step()
 
     def run_until_drained(self, max_cycles: int = 200_000) -> None:
-        """Step until no flits remain anywhere (sources included)."""
+        """Step until no flits remain anywhere — sources, pending
+        retransmissions and the diagnosis machinery included."""
         for _ in range(max_cycles):
-            if not self._flits_in_flight() and not self._pending_sources():
+            if not self._flits_in_flight() and not self._pending_sources() \
+                    and not self._pending_retries \
+                    and not self._pending_detections \
+                    and not (self.diagnosis is not None
+                             and self.diagnosis.pending()):
                 return
             self.step()
+        diag = self._diagnose_stall()
         raise DeadlockError(f"network failed to drain within {max_cycles} "
-                            f"cycles")
+                            f"cycles\n" + diag.describe(), diagnosis=diag)
 
     # -- fault application ------------------------------------------------------------------
 
@@ -329,9 +419,20 @@ class Network:
             self._confirm_fault(event)
 
     def _confirm_fault(self, event) -> None:
-        """The diagnosis completes: rip up stalled worms, update the
-        known fault set, recompute distributed algorithm state."""
+        """Detection completes at the fault site: rip up stalled worms,
+        then either flood the notification (per-node diagnosis) or —
+        with instant flooding — update the known fault set and
+        recompute the distributed algorithm state right away."""
+        if self.diagnosis is not None:
+            # flood first: rip-up schedules retries against the flood's
+            # per-node arrival times (a source can only react to a fault
+            # once its own view has heard of it)
+            self.diagnosis.start_flood(event, self.cycle)
         self._rip_up_worms(event)
+        self._last_progress = self.cycle   # diagnosis progress counts
+        if self.diagnosis is not None:
+            # known_faults/route_epoch update when the flood converges
+            return
         if self.known_faults is not self.faults:
             self.known_faults.apply(event)
         self.route_epoch += 1
@@ -392,7 +493,7 @@ class Network:
                     if port.neighbor == node:
                         victims |= r.worms_using_port(pid)
         for msg_id in victims:
-            self.drop_message(msg_id)
+            self.drop_message(msg_id, event=event)
 
     def message_stuck(self, msg_id: int) -> None:
         """The routing algorithm declared a message permanently
@@ -409,8 +510,15 @@ class Network:
             msg.dropped = True
             msg.header.fields["stuck"] = True
         self.stats.messages_stuck += 1
+        if msg is not None and self.config.retry_limit \
+                and not msg.delivered:
+            self._schedule_retry(msg)
 
-    def drop_message(self, msg_id: int) -> None:
+    def drop_message(self, msg_id: int, event=None) -> None:
+        """Remove a message killed mid-flight (harsh-mode rip-up).
+        ``event`` is the fault that killed it, used to anchor the
+        source-retransmission release to the cycle the *source's* view
+        confirms that fault."""
         for r in self.routers:
             r.purge_message(msg_id)
         msg = self.messages.get(msg_id)
@@ -422,11 +530,84 @@ class Network:
             src.current_msg = None
         msg.dropped = True
         self.stats.count_dropped()
-        if self.config.retransmit_dropped and not msg.delivered:
+        if msg.delivered:
+            return
+        if self.config.retry_limit:
+            self._schedule_retry(msg, event=event)
+        elif self.config.retransmit_dropped:
             # the re-injection recovery the paper sketches for messages
             # ripped up by a link fault; the copy records its original
             self.offer(msg.header.src, msg.header.dst, msg.header.length,
                        retry_of=msg.header.msg_id)
+
+    # -- source retransmission ---------------------------------------------------
+
+    def _schedule_retry(self, msg: Message, event=None) -> None:
+        """Queue a dropped/stranded message for re-injection at its
+        source.  The retransmission is released once (a) the source's
+        local fault view has confirmed the killing fault — a real
+        source cannot react to a fault it has not heard of — and (b)
+        the exponential backoff for this attempt has elapsed."""
+        hdr = msg.header
+        fields = hdr.fields
+        attempt = int(fields.get("attempt", 0)) + 1
+        root = fields.get("root_id", hdr.msg_id)
+        if attempt > self.config.retry_limit:
+            self._dead_letter(root)
+            return
+        confirm = self.cycle
+        if event is not None and self.diagnosis is not None:
+            eta = self.diagnosis.eta(hdr.src, event)
+            if eta is None:
+                # the flood can never reach the source: it is cut off
+                # from the fault site, hence from the destination too
+                self._dead_letter(root)
+                return
+            confirm = max(confirm, eta)
+        backoff = self.config.retry_backoff * (1 << (attempt - 1))
+        carry = {
+            "retry_of": hdr.msg_id,
+            "root_id": root,
+            "attempt": attempt,
+            "first_dropped": int(fields.get("first_dropped", self.cycle)),
+            "orig_created": int(fields.get("orig_created", hdr.created)),
+        }
+        heappush(self._pending_retries,
+                 (confirm + backoff, next(self._retry_seq),
+                  hdr.src, hdr.dst, hdr.length, carry))
+
+    def _release_due_retries(self) -> None:
+        while self._pending_retries \
+                and self._pending_retries[0][0] <= self.cycle:
+            _, _, src, dst, length, carry = heappop(self._pending_retries)
+            self._release_retry(src, dst, length, carry)
+
+    def _release_retry(self, src: int, dst: int, length: int,
+                       carry: dict) -> None:
+        root = carry["root_id"]
+        if not self.faults.node_ok(src):
+            # the source itself died while the retry was queued
+            self._dead_letter(root)
+            return
+        view = self.fault_view(src)
+        if not view.node_ok(dst) or not view.connected(src, dst) \
+                or not self.algorithm.accepts(src, dst):
+            # fail-stop faults are permanent: a destination the source's
+            # view already knows to be dead/unreachable (or that the
+            # algorithm's convex completion excludes) will never come
+            # back — give up loudly instead of retrying forever
+            self._dead_letter(root)
+            return
+        msg = Message.create(src, dst, length, self.cycle,
+                             msg_id=next(self._msg_ids), **carry)
+        self.messages[msg.header.msg_id] = msg
+        self.sources[src].queue.append(msg)
+        self._active_sources.add(src)
+        self.stats.count_retried()
+
+    def _dead_letter(self, root_id: int) -> None:
+        self.dead_letters.append(root_id)
+        self.stats.count_dead_letter()
 
     # -- queries ----------------------------------------------------------------------
 

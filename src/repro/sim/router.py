@@ -221,6 +221,7 @@ class Router:
         adaptive = algo.adaptive
         epoch = net.route_epoch
         cycles_per_step = net.config.cycles_per_step
+        hop_budget = net.config.hop_budget
         stuck_messages: list[int] = []
         for iv in self._ivs:
             buf = iv.buffer
@@ -235,6 +236,11 @@ class Router:
                         f"{front.msg_id} at the front of an idle VC")
                 header = front.header
                 assert header is not None
+                if hop_budget and header.path_len > hop_budget:
+                    # network-level livelock guard: the worm burned its
+                    # hop budget without reaching the destination
+                    stuck_messages.append(header.msg_id)
+                    continue
                 decision = algo.route(self, header, iv.port, iv.vc)
                 net.stats.count_decision(decision.steps)
                 latency = max(1, decision.steps * cycles_per_step)

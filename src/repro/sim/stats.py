@@ -27,6 +27,8 @@ class StatsCollector:
     messages_dropped: int = 0
     messages_unroutable: int = 0
     messages_stuck: int = 0
+    messages_retried: int = 0
+    messages_dead_lettered: int = 0
     decisions: int = 0
     decision_steps: int = 0
     max_decision_steps: int = 0
@@ -34,6 +36,9 @@ class StatsCollector:
     _network_latencies: list[int] = field(default_factory=list)
     _hops: list[int] = field(default_factory=list)
     _misrouted: int = 0
+    #: delivery_cycle - first_drop_cycle of every message that was
+    #: ripped up / stranded and later delivered by a retransmission
+    _recovery_times: list[int] = field(default_factory=list)
 
     # -- recording -----------------------------------------------------
 
@@ -70,6 +75,15 @@ class StatsCollector:
     def count_unroutable(self) -> None:
         self.messages_unroutable += 1
 
+    def count_retried(self) -> None:
+        self.messages_retried += 1
+
+    def count_dead_letter(self) -> None:
+        self.messages_dead_lettered += 1
+
+    def count_recovery(self, cycles: int) -> None:
+        self._recovery_times.append(cycles)
+
     # -- summaries -----------------------------------------------------------
 
     @property
@@ -99,6 +113,21 @@ class StatsCollector:
     def mean_decision_steps(self) -> float:
         return self.decision_steps / self.decisions if self.decisions else 0.0
 
+    @property
+    def messages_recovered(self) -> int:
+        return len(self._recovery_times)
+
+    @property
+    def mean_time_to_recover(self) -> float:
+        # 0.0 (not nan) when nothing recovered, so summaries stay
+        # comparable with ==
+        return (float(np.mean(self._recovery_times))
+                if self._recovery_times else 0.0)
+
+    @property
+    def max_time_to_recover(self) -> int:
+        return max(self._recovery_times, default=0)
+
     def throughput(self, n_nodes: int) -> float:
         """Delivered flits per node per cycle over the measured window."""
         cycles = max(1, self.now - self.warmup)
@@ -115,6 +144,11 @@ class StatsCollector:
             "messages_dropped": self.messages_dropped,
             "messages_unroutable": self.messages_unroutable,
             "messages_stuck": self.messages_stuck,
+            "messages_retried": self.messages_retried,
+            "messages_dead_lettered": self.messages_dead_lettered,
+            "messages_recovered": self.messages_recovered,
+            "mean_time_to_recover": self.mean_time_to_recover,
+            "max_time_to_recover": self.max_time_to_recover,
             "mean_latency": self.mean_latency,
             "mean_network_latency": self.mean_network_latency,
             "p99_latency": self.p99_latency,

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Simulation CLI: single workload points and chaos campaigns.
+
+Single point::
+
+    python tools/simulate.py run --algorithm nafta --width 8 --height 8 \
+        --load 0.15 --cycles 2000
+
+Chaos campaign (randomized mid-flight faults, harsh mode, source
+retransmission; see docs/ROBUSTNESS.md)::
+
+    python tools/simulate.py campaign --scenarios 20 --link-faults 2 \
+        --workers 4 --seed 1 --json campaign.json
+
+The campaign fans scenarios out through the sweep engine, so
+``--workers N`` parallelizes and repeated invocations replay from the
+content-addressed result cache (disable with ``--no-cache``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import (add_sweep_args, campaign_table,  # noqa: E402
+                               run_campaign, run_workload, WorkloadSpec)
+from repro.sim import Hypercube, Mesh2D  # noqa: E402
+
+
+def _topology(args):
+    if args.topology == "mesh":
+        return Mesh2D(args.width, args.height)
+    return Hypercube(args.dimension)
+
+
+def cmd_run(args) -> int:
+    spec = WorkloadSpec(
+        topology=_topology(args), algorithm=args.algorithm,
+        pattern=args.pattern, load=args.load,
+        message_length=args.message_length, cycles=args.cycles,
+        warmup=args.warmup, seed=args.seed,
+        fault_mode=args.fault_mode, detection_delay=args.detection_delay,
+        diagnosis_hop_delay=args.diagnosis_hop_delay,
+        retry_limit=args.retry_limit, retry_backoff=args.retry_backoff,
+        hop_budget=args.hop_budget)
+    result = run_workload(spec)
+    print(json.dumps(result, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    stats: dict = {}
+    report = run_campaign(
+        args.scenarios, workers=args.workers, cache=args.cache,
+        progress=args.progress, stats=stats,
+        width=args.width, height=args.height,
+        n_link_faults=args.link_faults, n_node_faults=args.node_faults,
+        algorithm=args.algorithm, load=args.load,
+        message_length=args.message_length, cycles=args.cycles,
+        warmup=args.warmup, seed=args.seed,
+        detection_delay=args.detection_delay,
+        diagnosis_hop_delay=args.diagnosis_hop_delay,
+        retry_limit=args.retry_limit, retry_backoff=args.retry_backoff,
+        hop_budget=args.hop_budget)
+    print(campaign_table(report))
+    if stats:
+        print(f"[{stats.get('simulated', '?')} simulated, "
+              f"{stats.get('cache_hits', '?')} cache hits, "
+              f"{stats.get('wall_s', 0):.1f}s]")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True))
+        print(f"[report saved to {args.json}]")
+    if args.strict and (report["silent_loss"] or report["dead_lettered"]
+                        or report["deadlocked_scenarios"]):
+        print("STRICT: reliability violations present", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--algorithm", default="nafta")
+    p.add_argument("--topology", choices=["mesh", "cube"], default="mesh")
+    p.add_argument("--width", type=int, default=8)
+    p.add_argument("--height", type=int, default=8)
+    p.add_argument("--dimension", type=int, default=4,
+                   help="hypercube dimension (with --topology cube)")
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--load", type=float, default=0.12)
+    p.add_argument("--message-length", type=int, default=6)
+    p.add_argument("--cycles", type=int, default=2000)
+    p.add_argument("--warmup", type=int, default=200)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--fault-mode", choices=["quiesce", "harsh"],
+                   default="harsh")
+    p.add_argument("--detection-delay", type=int, default=40)
+    p.add_argument("--diagnosis-hop-delay", type=int, default=2)
+    p.add_argument("--retry-limit", type=int, default=6)
+    p.add_argument("--retry-backoff", type=int, default=16)
+    p.add_argument("--hop-budget", type=int, default=0)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="one simulation point")
+    _common(run_p)
+    run_p.set_defaults(fault_mode="quiesce", detection_delay=0,
+                       diagnosis_hop_delay=0, retry_limit=0)
+
+    camp_p = sub.add_parser("campaign", help="randomized chaos campaign")
+    _common(camp_p)
+    add_sweep_args(camp_p)
+    camp_p.add_argument("--scenarios", type=int, default=20)
+    camp_p.add_argument("--link-faults", type=int, default=2)
+    camp_p.add_argument("--node-faults", type=int, default=0)
+    camp_p.add_argument("--progress", action="store_true")
+    camp_p.add_argument("--json", metavar="PATH",
+                        help="also write the full report as JSON")
+    camp_p.add_argument("--strict", action="store_true",
+                        help="exit 1 on any silent loss, dead letter "
+                             "or deadlock")
+
+    args = ap.parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_campaign(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
