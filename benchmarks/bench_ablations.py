@@ -11,12 +11,9 @@ Section 3's subgoal taxonomy made measurable).
   (adaptivity off) under hotspot traffic.
 """
 
-import statistics
-
 from repro.experiments import WorkloadSpec, run_workload, save_report, table
 from repro.routing import NaftaRouting
-from repro.routing.base import RouteDecision
-from repro.sim import FaultSchedule, Mesh2D, Network, TrafficGenerator
+from repro.sim import Mesh2D, Network, TrafficGenerator
 
 
 class NonAdaptiveNafta(NaftaRouting):

@@ -6,8 +6,6 @@ rounds so simulator/compiler performance regressions show up in the
 pytest-benchmark comparison output.
 """
 
-import pytest
-
 from repro.core.compiler import compile_program
 from repro.routing import NaftaRouting, RouteCRouting
 from repro.routing.rulesets import ruleset_source

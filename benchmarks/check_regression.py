@@ -1,0 +1,123 @@
+"""Compare a fresh benchmark report against the committed baseline
+(``BENCH_engine.json``) and fail loudly on a throughput regression.
+
+CI runs::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --quick --out /tmp/bench_quick.json
+    python benchmarks/check_regression.py /tmp/bench_quick.json
+
+Only rate metrics (decisions/sec, cycles/sec) are compared — wall-clock
+totals depend on repeat counts, which differ between ``--quick`` and the
+full run that produced the baseline. A metric regresses when it drops
+more than ``--threshold`` (default 30%) below the baseline; improvements
+never fail. The wide threshold absorbs runner-to-runner variance while
+still catching the "accidentally interpreted the hot loop" class of
+mistake — a genuine 2x slowdown trips it with a wide margin.
+
+If a slowdown is intentional (a feature that trades throughput for
+capability), refresh the baseline instead of raising the threshold::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+and commit the updated ``BENCH_engine.json`` with a note in the PR body
+explaining the accepted cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: (dotted path into the report, short label) — rates only, see module doc
+TRACKED = (
+    ("decision_throughput.fastpath_decisions_per_sec", "fastpath decisions/sec"),
+    ("decision_throughput.legacy_decisions_per_sec", "interpreted decisions/sec"),
+    ("simulation_throughput_low_load.active_cycles_per_sec",
+     "sim cycles/sec (low load)"),
+    ("simulation_throughput_moderate_load.active_cycles_per_sec",
+     "sim cycles/sec (moderate load)"),
+)
+
+DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / \
+    "BENCH_engine.json"
+
+
+def lookup(report: dict, dotted: str) -> float | None:
+    node = report
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node)
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Human-readable rows; raises SystemExit(1) after printing if any
+    tracked metric regressed past the threshold."""
+    rows = []
+    failures = []
+    for dotted, label in TRACKED:
+        base = lookup(baseline, dotted)
+        cur = lookup(current, dotted)
+        if base is None or cur is None:
+            rows.append(f"  {label:<32} (missing — skipped)")
+            continue
+        ratio = cur / base
+        mark = "ok"
+        if ratio < 1.0 - threshold:
+            mark = "REGRESSION"
+            failures.append(
+                f"{label}: {cur:,.0f}/sec is {1 - ratio:.0%} below the "
+                f"baseline {base:,.0f}/sec (allowed: {threshold:.0%})"
+            )
+        rows.append(
+            f"  {label:<32} {cur:>12,.0f}/sec  vs {base:>12,.0f}/sec  "
+            f"({ratio:.0%} of baseline)  {mark}"
+        )
+    print(f"benchmark regression check (threshold {threshold:.0%}):")
+    for row in rows:
+        print(row)
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="fresh benchmark report JSON to check")
+    ap.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                    help="committed baseline (default: BENCH_engine.json)")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max tolerated fractional drop (default 0.30)")
+    args = ap.parse_args(argv)
+
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    current = json.loads(pathlib.Path(args.current).read_text())
+    if current.get("quick") and "quick_reference" in baseline:
+        # quick mode amortizes warmup over far fewer repeats, so its
+        # rates sit systematically below the full run — compare against
+        # the committed quick-mode reference instead
+        print("(--quick report: comparing against the quick_reference "
+              "baseline section)")
+        baseline = baseline["quick_reference"]
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        print("\nFAIL: throughput regressed past the tolerated threshold:",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print(
+            "\nIf this slowdown is intentional, regenerate the baseline\n"
+            "(PYTHONPATH=src python benchmarks/bench_engine_throughput.py)\n"
+            "and commit BENCH_engine.json with a PR note explaining the\n"
+            "accepted cost. Do not raise --threshold to make CI pass.",
+            file=sys.stderr,
+        )
+        return 1
+    print("all tracked throughput metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

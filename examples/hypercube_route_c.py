@@ -37,7 +37,7 @@ def main() -> None:
     msg = net.offer(0b0000, 0b0111, length=4)
     assert msg is not None
     net.run_until_drained()
-    print(f"\nmessage 0000 -> 0111 (all three minimal first hops faulty):")
+    print("\nmessage 0000 -> 0111 (all three minimal first hops faulty):")
     print(f"  path: {[format(n, '04b') for n in msg.header.fields['trace']]}")
     print(f"  hops: {msg.hops} (minimal 4), "
           f"misrouted={msg.header.misrouted}, "

@@ -36,7 +36,7 @@ def main() -> None:
     # state the rule bases maintain
     probe = topo.node_at(2, 4)
     eng = algo.engines[probe]
-    print(f"rule-machine registers at node (2,4):")
+    print("rule-machine registers at node (2,4):")
     print(f"  mystate    = {eng.registers.read('mystate')}")
     print(f"  usable_set = {sorted(eng.registers.read('usable_set'))} "
           f"(ports: 0=E 1=W 2=N 3=S; south leads into the block)")

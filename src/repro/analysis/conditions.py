@@ -24,7 +24,6 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from ..routing.base import RoutingAlgorithm
 from ..sim.faults import FaultSchedule, FaultState
 from ..sim.flit import Header
 from ..sim.network import Network

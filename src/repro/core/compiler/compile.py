@@ -27,7 +27,7 @@ from ..dsl.domains import Domain, Value
 from ..dsl.errors import CompileError
 from ..dsl.parser import parse
 from ..dsl.semantics import AnalyzedProgram, Analyzer, BaseInfo, analyze
-from .atoms import AtomAnalysis, BitFeature, DirectFeature
+from .atoms import AtomAnalysis, DirectFeature
 from .encoding import ConclusionEncoding, build_encoding
 from .expand import GroundRule, expand_base
 from .fcfb import FcfbInstance, collect_fcfbs, fcfb_summary

@@ -21,8 +21,6 @@ guard against encoding drift.
 
 from __future__ import annotations
 
-from dataclasses import asdict
-
 from ..dsl.errors import CompileError
 from .atoms import BitFeature, DirectFeature
 from .compile import CompiledProgram, CompiledRuleBase

@@ -826,7 +826,7 @@ class _SrcGen:
                 self.put(f"    {t} = {w}.get({idx_src})")
                 self.put(f"    if {t} is None:")
                 self.put(f"        {t} = {slow}(env)")
-                self.put(f"else:")
+                self.put("else:")
                 self.put(f"    {t} = {slow}(env)")
                 if self.indent == 1:
                     self.cse[read_key] = t

@@ -14,7 +14,6 @@ analysis distinguishes boolean from value expressions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
 
 # ---------------------------------------------------------------------------
 # Type expressions (syntactic; resolved to domains.Domain in semantics)

@@ -73,6 +73,13 @@ class RuleEngine:
             raise EvalError(f"{name!r} is not a declared FUNCTION")
         self.functions[name] = impl
 
+    def attach_tracer(self, tracer, node: int = -1) -> None:
+        """Attach a :mod:`repro.obs` tracer: rule-base invocations emit
+        ``rule.invoke`` / ``rule.effects`` trace events tagged with the
+        router ``node`` the engine belongs to."""
+        self._rbr.tracer = tracer
+        self._rbr.trace_node = node
+
     def set_inputs(self, source, *, trusted: bool = False) -> None:
         """Attach the hardware input source (mapping or callable).
 
@@ -119,6 +126,10 @@ class RuleEngine:
             return self._ast.invoke(info, args, env)
         rbr = self._rbr
         if rbr.fastpath:
+            if rbr.tracer.enabled:
+                # the traced path goes through rbr.invoke (same kernel,
+                # plus the rule.invoke emission)
+                return rbr.invoke(self.compiled.base(base_name), args, env)
             kern = self._kernels.get(base_name)
             if kern is None:
                 kern = rbr.kernel(self.compiled.base(base_name))

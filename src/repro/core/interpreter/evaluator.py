@@ -214,7 +214,7 @@ def eval_expr(expr: N.Expr, env: Env) -> Value:
         if expr.op == "/=":
             return lv != rv
         if not (isinstance(lv, int) and isinstance(rv, int)):
-            raise EvalError(f"ordering comparison on non-integers", expr.line)
+            raise EvalError("ordering comparison on non-integers", expr.line)
         if expr.op == "<":
             return lv < rv
         if expr.op == "<=":

@@ -22,6 +22,8 @@ Two execution strategies share this class:
 
 from __future__ import annotations
 
+from ...obs import events as trace_ev
+from ...obs.tracer import NULL_TRACER
 from ..dsl.domains import Value
 from ..dsl.errors import EvalError
 from ..compiler.atoms import BitFeature, DirectFeature
@@ -33,6 +35,13 @@ from .execution import InvocationResult, _Effects, apply_effects, gather_effects
 
 
 class RbrInterpreter:
+    #: observability hooks (see repro.obs): the tracer defaults to the
+    #: shared no-op, so the untraced cost is one attribute check per
+    #: invocation; trace_node tags emissions with the router the engine
+    #: belongs to
+    tracer = NULL_TRACER
+    trace_node = -1
+
     def __init__(self, compiled: CompiledProgram, fastpath: bool = True):
         self.compiled = compiled
         self.analyzed = compiled.analyzed
@@ -65,7 +74,14 @@ class RbrInterpreter:
     def invoke(self, base: CompiledRuleBase, args: tuple[Value, ...],
                env: Env) -> InvocationResult:
         if self.fastpath:
-            return self.kernel(base).invoke(args, env, self._subbase_runner)
+            res = self.kernel(base).invoke(args, env, self._subbase_runner)
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit(trace_ev.RULE_INVOKE, node=self.trace_node,
+                        base=base.name, rule=res.fired_source_rule,
+                        writes=len(res.writes),
+                        emissions=len(res.emissions))
+            return res
         if base.table is None:
             raise EvalError(f"rule base {base.name!r} was compiled without "
                             f"a materialized table; recompile with "
@@ -82,7 +98,11 @@ class RbrInterpreter:
         idx = self.compute_index(base, call_env)
         entry = int(base.table[idx])
         result = InvocationResult(base=base.name, fired_source_rule=None)
+        tr = self.tracer
         if entry == NO_RULE:
+            if tr.enabled:
+                tr.emit(trace_ev.RULE_INVOKE, node=self.trace_node,
+                        base=base.name, rule=None, writes=0, emissions=0)
             return result
         ground = base.ground_rules[entry]
         result.fired_source_rule = ground.source_index
@@ -90,7 +110,12 @@ class RbrInterpreter:
         effects = _Effects()
         gather_effects(ground.commands, call_env, effects,
                        self._subbase_runner(call_env))
-        apply_effects(effects, call_env, result)
+        apply_effects(effects, call_env, result, tracer=tr)
+        if tr.enabled:
+            tr.emit(trace_ev.RULE_INVOKE, node=self.trace_node,
+                    base=base.name, rule=result.fired_source_rule,
+                    writes=len(result.writes),
+                    emissions=len(result.emissions))
         return result
 
     # -- subbases ------------------------------------------------------------

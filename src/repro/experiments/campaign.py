@@ -49,7 +49,9 @@ def make_scenario(index: int, *, width: int = 8, height: int = 8,
                   detection_delay: int = 40,
                   diagnosis_hop_delay: int = 2,
                   retry_limit: int = 6, retry_backoff: int = 16,
-                  hop_budget: int = 0) -> WorkloadSpec:
+                  hop_budget: int = 0, trace: bool = False,
+                  trace_capacity: int = 65536,
+                  metrics_stride: int = 0) -> WorkloadSpec:
     """One randomized mid-flight fault scenario as a WorkloadSpec.
 
     Faults keep the network connected (the campaign's acceptance
@@ -74,7 +76,8 @@ def make_scenario(index: int, *, width: int = 8, height: int = 8,
         fault_mode="harsh", detection_delay=detection_delay,
         diagnosis_hop_delay=diagnosis_hop_delay,
         retry_limit=retry_limit, retry_backoff=retry_backoff,
-        hop_budget=hop_budget, drain=True)
+        hop_budget=hop_budget, drain=True, trace=trace,
+        trace_capacity=trace_capacity, metrics_stride=metrics_stride)
 
 
 def run_campaign(n_scenarios: int = 20, *, workers: int = 0,
@@ -91,7 +94,13 @@ def run_campaign(n_scenarios: int = 20, *, workers: int = 0,
                         stats=stats)
     scenarios = []
     for i, (spec, res) in enumerate(zip(specs, results)):
+        extra = {}
+        if "trace" in res:
+            extra["trace"] = res["trace"]
+        if "metrics" in res:
+            extra["metrics"] = res["metrics"]
         scenarios.append({
+            **extra,
             "scenario": i,
             "timed_faults": spec.to_dict()["timed_faults"],
             "deadlocked": res["deadlocked"],

@@ -60,6 +60,10 @@ class WorkloadSpec:
     hop_budget: int = 0
     #: mid-flight faults: (cycle, "link", (a, b)) / (cycle, "node", n)
     timed_faults: list = field(default_factory=list)
+    # -- observability (repro.obs; all off by default) -----------------
+    trace: bool = False           # record a RingTracer event stream
+    trace_capacity: int = 65536
+    metrics_stride: int = 0       # 0 = no timeseries; N = sample every N
 
     # -- serialization (process boundary / cache identity) ------------
 
@@ -108,6 +112,9 @@ class WorkloadSpec:
                  [min(int(t[0]), int(t[1])), max(int(t[0]), int(t[1]))]]
                 if kind == "link" else [int(cycle), "node", int(t)]
                 for cycle, kind, t in self.timed_faults),
+            "trace": bool(self.trace),
+            "trace_capacity": int(self.trace_capacity),
+            "metrics_stride": int(self.metrics_stride),
         }
 
     @classmethod
@@ -138,6 +145,9 @@ class WorkloadSpec:
                 (int(cycle), kind,
                  (int(t[0]), int(t[1])) if kind == "link" else int(t))
                 for cycle, kind, t in d.get("timed_faults", [])],
+            trace=bool(d.get("trace", False)),
+            trace_capacity=int(d.get("trace_capacity", 65536)),
+            metrics_stride=int(d.get("metrics_stride", 0)),
         )
 
     def spec_key(self, code_token: str | None = None) -> str:
@@ -172,7 +182,15 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
                     retry_backoff=spec.retry_backoff,
                     hop_budget=spec.hop_budget)
     algo = make_algorithm(spec.algorithm)
-    net = Network(topology, algo, config=cfg, arbiter=spec.arbiter)
+    tracer = metrics = None
+    if spec.trace:
+        from ..obs import RingTracer
+        tracer = RingTracer(capacity=spec.trace_capacity)
+    if spec.metrics_stride:
+        from ..obs import MetricsTimeseries
+        metrics = MetricsTimeseries(stride=spec.metrics_stride)
+    net = Network(topology, algo, config=cfg, arbiter=spec.arbiter,
+                  tracer=tracer, metrics=metrics)
     if spec.fault_links or spec.fault_nodes or spec.timed_faults:
         schedule = FaultSchedule.static(links=spec.fault_links,
                                         nodes=spec.fault_nodes)
@@ -202,6 +220,12 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
     out["undelivered"] = len(net.undelivered())
     out["n_faults"] = net.faults.n_faults()
     out.update(_logical_accounting(net))
+    if tracer is not None:
+        # a raw blob, not Chrome format: plain-JSON results survive the
+        # process pool and the content-addressed cache unchanged, and
+        # exporters convert at presentation time (the metrics blob rides
+        # along inside the stats summary the same way)
+        out["trace"] = tracer.to_dict()
     return out
 
 

@@ -34,7 +34,7 @@ def render_table1(report: CostReport) -> str:
                  f"(nft-only {report.nft_table_bits}, "
                  f"ft share {report.ft_overhead_fraction():.0%})")
     pool = report.fcfb_pool()
-    lines.append(f"  shared FCFB pool: "
+    lines.append("  shared FCFB pool: "
                  + ", ".join((f"{n} x {k}" if n > 1 else k)
                              for k, n in pool.items()))
     lines.append(f"  pool size {sum(pool.values())} blocks vs "

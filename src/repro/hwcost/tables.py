@@ -6,7 +6,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.compiler import CompiledProgram, CompiledRuleBase
+from ..core.compiler import CompiledProgram
 from ..routing.rulesets.loader import RULESETS, compile_ruleset
 
 

@@ -1,0 +1,39 @@
+"""Observability layer: structured event tracing, per-cycle metrics,
+and trace exporters.
+
+Opt-in and neutral when off: the default :data:`NULL_TRACER` makes
+every emission site a single attribute check, and the pinned-digest
+tests hold the disabled simulator bit-identical to the untraced one.
+
+Typical use::
+
+    from repro.obs import MetricsTimeseries, RingTracer, chrome_trace
+
+    tracer = RingTracer(capacity=1 << 16)
+    metrics = MetricsTimeseries(stride=4)
+    net = Network(topo, algo, tracer=tracer, metrics=metrics)
+    ...
+    doc = chrome_trace(tracer.to_dict(), metrics.to_dict())
+    json.dump(doc, open("trace.json", "w"))   # -> ui.perfetto.dev
+
+See docs/OBSERVABILITY.md for the event taxonomy and CLI flags.
+"""
+
+from . import events
+from .events import ALL_KINDS, TraceEvent
+from .export import ascii_timeline, chrome_trace
+from .metrics import GAUGES, MetricsTimeseries
+from .tracer import NULL_TRACER, NullTracer, RingTracer
+
+__all__ = [
+    "events",
+    "ALL_KINDS",
+    "TraceEvent",
+    "ascii_timeline",
+    "chrome_trace",
+    "GAUGES",
+    "MetricsTimeseries",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingTracer",
+]

@@ -1,0 +1,92 @@
+"""Ring-buffered event tracer and its no-op twin.
+
+The simulator always holds a tracer; which one decides the cost:
+
+* :data:`NULL_TRACER` (a :class:`NullTracer`) is the default.  Its
+  ``enabled`` flag is ``False``, every hot emission site is guarded by
+  ``if tracer.enabled:``, and the pinned-digest tests plus the engine
+  throughput benchmark hold the disabled path bit-identical and within
+  noise of the untraced simulator.
+* :class:`RingTracer` records :class:`~repro.obs.events.TraceEvent`
+  rows into a bounded ring.  When the ring wraps, the oldest events are
+  overwritten and counted in ``dropped`` — a trace is a window onto the
+  run's tail, never an unbounded memory leak.
+
+Tracers carry the current cycle in ``now`` (refreshed by the network
+each step) so deep layers — the RBR kernel, conclusion execution — can
+emit without threading a cycle argument through every call.
+"""
+
+from __future__ import annotations
+
+from .events import TraceEvent
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Kept intentionally tiny — call sites check ``enabled`` before
+    building payload dicts, so the only cost of the disabled path is
+    one attribute load and branch per (rare) emission site.
+    """
+
+    enabled = False
+    now = 0
+
+    def emit(self, kind: str, **data) -> None:
+        pass
+
+    def drain(self) -> list[TraceEvent]:
+        return []
+
+
+#: the shared no-op tracer every Network starts with
+NULL_TRACER = NullTracer()
+
+
+class RingTracer(NullTracer):
+    """Bounded in-memory event trace.
+
+    ``capacity`` is the maximum number of retained events; emission is
+    O(1) and wrapping replaces the oldest event.  ``drain()`` returns
+    the retained events oldest-first without consuming them.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self.now = 0
+        self.dropped = 0
+        self._ring: list[TraceEvent] = []
+        self._next = 0  # overwrite cursor once the ring is full
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def emit(self, kind: str, **data) -> None:
+        ev = TraceEvent(self.now, kind, data)
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(ev)
+        else:
+            ring[self._next] = ev
+            self._next = (self._next + 1) % self.capacity
+            self.dropped += 1
+
+    def drain(self) -> list[TraceEvent]:
+        ring = self._ring
+        cut = self._next
+        if cut == 0:
+            return list(ring)
+        return ring[cut:] + ring[:cut]
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form (what the sweep engine caches)."""
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "events": [ev.to_list() for ev in self.drain()],
+        }

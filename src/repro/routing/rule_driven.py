@@ -30,13 +30,22 @@ from __future__ import annotations
 
 from ..core.engine import RuleEngine
 from ..sim.flit import Header
-from ..sim.topology import (EAST, MESH_OPPOSITE, NORTH, SOUTH, WEST, Mesh2D,
-                            Torus2D, Topology)
+from ..sim.topology import EAST, WEST, Mesh2D, Torus2D, Topology
 from .base import RouteDecision, RoutingAlgorithm, RoutingError
 from .nara import VN_TERMINAL, assign_virtual_network
 from .rulesets.loader import RULESETS, compile_ruleset
 
 DELIVER = 4
+
+
+def _attach_tracers(network, engines: list[RuleEngine]) -> None:
+    """Tag each node's rule engine with the network's tracer so
+    rule-base invocations show up in the trace (no-op when tracing is
+    off — the engines keep the shared null tracer)."""
+    tracer = getattr(network, "tracer", None)
+    if tracer is not None and tracer.enabled:
+        for node, eng in enumerate(engines):
+            eng.attach_tracer(tracer, node)
 
 
 class RuleDrivenNafta(RoutingAlgorithm):
@@ -66,6 +75,7 @@ class RuleDrivenNafta(RoutingAlgorithm):
         self.engines = [RuleEngine(self.compiled, functions=spec.functions)
                         for _ in topo.nodes()]
         self.network = network
+        _attach_tracers(network, self.engines)
         self.on_fault_update(network)
 
     # -- distributed state via the rule machine ----------------------------
@@ -277,6 +287,7 @@ class RuleDrivenRouteC(RoutingAlgorithm):
         self.engines = [RuleEngine(self.compiled, functions=spec.functions)
                         for _ in topo.nodes()]
         self.network = network
+        _attach_tracers(network, self.engines)
         self.on_fault_update(network)
 
     # -- distributed safety state through update_state events ---------------

@@ -29,8 +29,18 @@ from __future__ import annotations
 from collections import deque
 from heapq import heappop, heappush
 
+from ..obs import events as trace_ev
+from ..obs.tracer import NULL_TRACER
 from .faults import FaultEvent, FaultState
 from .topology import Topology
+
+
+def _event_payload(event: FaultEvent) -> dict:
+    """JSON-able trace payload for a fault event (the key is ``fault``,
+    not ``kind`` — ``kind`` names the trace-event type itself)."""
+    target = (list(event.target) if event.kind == "link"
+              else int(event.target))
+    return {"fault": event.kind, "target": target}
 
 
 class DiagnosisEngine:
@@ -43,12 +53,13 @@ class DiagnosisEngine:
     """
 
     def __init__(self, topology: Topology, ground_truth: FaultState,
-                 hop_delay: int):
+                 hop_delay: int, tracer=None):
         if hop_delay < 1:
             raise ValueError("diagnosis hop delay must be >= 1 cycle")
         self.topology = topology
         self.faults = ground_truth       # live reference, never mutated here
         self.hop_delay = hop_delay
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.views: list[FaultState] = [FaultState(topology)
                                         for _ in topology.nodes()]
         # (deliver_cycle, seq, node, event); seq keeps the heap stable
@@ -87,7 +98,8 @@ class DiagnosisEngine:
     def start_flood(self, event: FaultEvent, cycle: int) -> int:
         """Begin flooding a confirmed fault from its detection sites;
         returns the cycle the flood will have converged."""
-        dist = self._bfs_distances(self._detection_sites(event))
+        sites = self._detection_sites(event)
+        dist = self._bfs_distances(sites)
         reached = []
         last = cycle
         for node, d in dist.items():
@@ -100,6 +112,11 @@ class DiagnosisEngine:
                 last = when
         self._remaining[event] = len(reached)
         self._reached[event] = reached
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(trace_ev.FAULT_FLOOD_START, sites=sites,
+                    nodes=len(reached), converges=last,
+                    **_event_payload(event))
         return last
 
     def deliver_due(self, cycle: int) -> list[tuple[FaultEvent, list[int]]]:
@@ -107,9 +124,13 @@ class DiagnosisEngine:
         returns the events whose floods completed, with the nodes each
         one reached."""
         completed: list[tuple[FaultEvent, list[int]]] = []
+        tr = self.tracer
         while self._heap and self._heap[0][0] <= cycle:
             _, _, node, event = heappop(self._heap)
             self.views[node].apply(event)
+            if tr.enabled:
+                tr.emit(trace_ev.FAULT_FLOOD_NODE, node=node,
+                        **_event_payload(event))
             self._remaining[event] -= 1
             if self._remaining[event] == 0:
                 del self._remaining[event]

@@ -14,6 +14,7 @@ and maintaining a path-length counter "is best done in the header"
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from enum import IntEnum
 
@@ -41,6 +42,12 @@ def reset_message_ids() -> None:
     for callers that create bare :class:`Message` objects and want a
     predictable id sequence.
     """
+    warnings.warn(
+        "reset_message_ids() is deprecated: message ids are per-Network "
+        "since the sweep engine landed, so between-run resets are "
+        "unnecessary (it only restarts the fallback counter for bare "
+        "Message objects)",
+        DeprecationWarning, stacklevel=2)
     global _msg_ids
     _msg_ids = itertools.count()
 

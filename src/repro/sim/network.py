@@ -38,9 +38,11 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING
 
+from ..obs import events as trace_ev
+from ..obs.tracer import NULL_TRACER
 from .config import SimConfig
 from .diagnosis import DiagnosisEngine
-from .faults import FaultSchedule, FaultState
+from .faults import FaultEvent, FaultSchedule, FaultState
 from .flit import Flit, Message
 from .router import LOCAL, Router
 from .stats import StatsCollector
@@ -71,6 +73,14 @@ class DeadlockError(RuntimeError):
         self.diagnosis = diagnosis
 
 
+def _fault_payload(event: FaultEvent) -> dict:
+    """JSON-able trace payload for a fault event (the key is ``fault``,
+    not ``kind`` — ``kind`` names the trace-event type itself)."""
+    target = (list(event.target) if event.kind == "link"
+              else int(event.target))
+    return {"fault": event.kind, "target": target}
+
+
 @dataclass
 class _SourceState:
     queue: deque = field(default_factory=deque)     # pending Messages
@@ -81,11 +91,18 @@ class _SourceState:
 class Network:
     def __init__(self, topology: Topology, algorithm: "RoutingAlgorithm",
                  config: SimConfig | None = None,
-                 arbiter: str | Arbiter = "round_robin"):
+                 arbiter: str | Arbiter = "round_robin",
+                 tracer=None, metrics=None):
         algorithm.check_topology(topology)
         self.topology = topology
         self.algorithm = algorithm
         self.config = config or SimConfig()
+        # observability (see repro.obs): the tracer is always present —
+        # NULL_TRACER's enabled=False keeps every emission site to one
+        # attribute check; metrics is None unless a timeseries is
+        # attached
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
         self.faults = FaultState(topology)
         # the routers' *knowledge* of the fault set: an alias of the
         # ground truth unless a detection delay or a per-node diagnosis
@@ -103,7 +120,8 @@ class Network:
         self.diagnosis: DiagnosisEngine | None = None
         if self.config.diagnosis_hop_delay:
             self.diagnosis = DiagnosisEngine(
-                topology, self.faults, self.config.diagnosis_hop_delay)
+                topology, self.faults, self.config.diagnosis_hop_delay,
+                tracer=self.tracer)
         self._pending_detections: list[tuple[int, object]] = []
         # source-retransmission queue: (release_cycle, seq, src, dst,
         # length, header fields) min-heap; seq keeps ties stable
@@ -113,6 +131,10 @@ class Network:
         #: source can never learn of / route around the fault)
         self.dead_letters: list[int] = []
         self.stats = StatsCollector()
+        if metrics is not None:
+            # summaries grow a "metrics" key only when a timeseries is
+            # attached — the unobserved summary stays bit-identical
+            self.stats.timeseries = metrics
         self.cycle = 0
         # advances whenever buffer contents or VC ownership change;
         # routers key their output_load memo on it
@@ -184,22 +206,35 @@ class Network:
         the *source's local view* does the screening — a source that
         has not yet heard of a fault will happily inject into it (and
         the message is then ripped up and retransmitted)."""
+        tr = self.tracer
         if not self.faults.node_ok(src):
             self.stats.count_unroutable()
+            if tr.enabled:
+                tr.emit(trace_ev.WORM_BLOCKED, src=src, dst=dst,
+                        reason="source_dead")
             return None
         screen = (self.faults if self.diagnosis is None
                   else self.diagnosis.views[src])
         if not screen.node_ok(dst) or not screen.connected(src, dst):
             self.stats.count_unroutable()
+            if tr.enabled:
+                tr.emit(trace_ev.WORM_BLOCKED, src=src, dst=dst,
+                        reason="destination_unreachable")
             return None
         if not self.algorithm.accepts(src, dst):
             self.stats.count_unroutable()
+            if tr.enabled:
+                tr.emit(trace_ev.WORM_BLOCKED, src=src, dst=dst,
+                        reason="algorithm_refused")
             return None
         msg = Message.create(src, dst, length, self.cycle,
                              msg_id=next(self._msg_ids), **fields)
         self.messages[msg.header.msg_id] = msg
         self.sources[src].queue.append(msg)
         self._active_sources.add(src)
+        if tr.enabled:
+            tr.emit(trace_ev.WORM_CREATED, msg_id=msg.header.msg_id,
+                    src=src, dst=dst, length=length)
         return msg
 
     def _inject_phase(self) -> None:
@@ -238,6 +273,10 @@ class Network:
                 if flit.is_head:
                     assert src.current_msg is not None
                     src.current_msg.injected = self.cycle
+                    tr = self.tracer
+                    if tr.enabled:
+                        tr.emit(trace_ev.WORM_INJECT, msg_id=flit.msg_id,
+                                node=node)
                 if not src.current:
                     src.current_msg = None
 
@@ -256,6 +295,13 @@ class Network:
                     f"message {msg.header.msg_id} for node {msg.header.dst} "
                     f"was delivered at node {node}")
             self.stats.count_message(msg)
+            tr = self.tracer
+            if tr.enabled:
+                tr.emit(trace_ev.WORM_DELIVER, msg_id=msg.header.msg_id,
+                        src=msg.header.src, dst=node,
+                        injected=msg.injected, created=msg.header.created,
+                        hops=msg.hops,
+                        attempt=int(msg.header.fields.get("attempt", 0)))
             first_dropped = msg.header.fields.get("first_dropped")
             if first_dropped is not None:
                 # a retransmitted copy made it: time-to-recover is the
@@ -266,6 +312,9 @@ class Network:
 
     def step(self) -> None:
         self.stats.now = self.cycle
+        tr = self.tracer
+        if tr.enabled:
+            tr.now = self.cycle
         if self.fault_schedule.events:
             for ev in self.fault_schedule.due(self.cycle):
                 if self.cycle == 0:
@@ -283,6 +332,10 @@ class Network:
                 self.known_faults.apply(ev)
                 self.route_epoch += 1
                 self._last_progress = self.cycle
+                if tr.enabled:
+                    tr.emit(trace_ev.FAULT_CONVERGED,
+                            nodes_reached=len(reached),
+                            **_fault_payload(ev))
                 self.algorithm.on_fault_update(self, nodes=reached)
         if self._pending_retries:
             self._release_due_retries()
@@ -303,9 +356,16 @@ class Network:
                 > self.config.deadlock_threshold) \
                 and not self._stall_excused():
             diag = self._diagnose_stall()
+            if tr.enabled:
+                tr.emit(trace_ev.SIM_DEADLOCK,
+                        algorithm=self.algorithm.name,
+                        stalled=len(diag.worms))
             raise DeadlockError(
                 f"algorithm {self.algorithm.name}: " + diag.describe(),
                 diagnosis=diag)
+        metrics = self.metrics
+        if metrics is not None and self.cycle % metrics.stride == 0:
+            metrics.sample(self)
         self.cycle += 1
 
     def _stall_excused(self) -> bool:
@@ -374,8 +434,16 @@ class Network:
             by_output: dict[int, list] = {}
             for req in requests:
                 by_output.setdefault(req.out_port, []).append(req)
+            tr = self.tracer
             for out_port in sorted(by_output):
-                req = arbiter.choose(out_port, by_output[out_port])
+                group = by_output[out_port]
+                req = arbiter.choose(out_port, group)
+                if tr.enabled and len(group) > 1:
+                    tr.emit(trace_ev.LINK_ARB, node=r.node,
+                            out_port=out_port,
+                            winner=(req.header.msg_id
+                                    if req.header is not None else None),
+                            contenders=len(group))
                 r.grant(req, cycle)
                 moved += 1
         return moved
@@ -423,6 +491,9 @@ class Network:
         then either flood the notification (per-node diagnosis) or —
         with instant flooding — update the known fault set and
         recompute the distributed algorithm state right away."""
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(trace_ev.FAULT_DETECT, **_fault_payload(event))
         if self.diagnosis is not None:
             # flood first: rip-up schedules retries against the flood's
             # per-node arrival times (a source can only react to a fault
@@ -439,6 +510,9 @@ class Network:
         self.algorithm.on_fault_update(self)
 
     def _apply_fault_now(self, event) -> None:
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(trace_ev.FAULT_INJECT, **_fault_payload(event))
         self.faults.apply(event)
         if event.kind == "node":
             # a dead node's source queue and buffered flits are gone
@@ -462,6 +536,9 @@ class Network:
 
     def _step_drain(self) -> None:
         self.stats.now = self.cycle
+        tr = self.tracer
+        if tr.enabled:
+            tr.now = self.cycle
         routers = self._live_routers()
         for r in routers:
             r.flush_incoming()
@@ -469,6 +546,9 @@ class Network:
         for r in routers:
             r.route_stage(self.cycle)
         self._allocate_and_transfer(routers)
+        metrics = self.metrics
+        if metrics is not None and self.cycle % metrics.stride == 0:
+            metrics.sample(self)
         self.cycle += 1
 
     def _rip_up_worms(self, event) -> None:
@@ -510,6 +590,9 @@ class Network:
             msg.dropped = True
             msg.header.fields["stuck"] = True
         self.stats.messages_stuck += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(trace_ev.WORM_STUCK, msg_id=msg_id)
         if msg is not None and self.config.retry_limit \
                 and not msg.delivered:
             self._schedule_retry(msg)
@@ -530,6 +613,11 @@ class Network:
             src.current_msg = None
         msg.dropped = True
         self.stats.count_dropped()
+        tr = self.tracer
+        if tr.enabled:
+            payload = {} if event is None else _fault_payload(event)
+            tr.emit(trace_ev.WORM_DROP, msg_id=msg_id,
+                    src=msg.header.src, dst=msg.header.dst, **payload)
         if msg.delivered:
             return
         if self.config.retry_limit:
@@ -604,10 +692,18 @@ class Network:
         self.sources[src].queue.append(msg)
         self._active_sources.add(src)
         self.stats.count_retried()
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(trace_ev.WORM_RETRY, msg_id=msg.header.msg_id,
+                    root_id=root, src=src, dst=dst,
+                    attempt=carry["attempt"])
 
     def _dead_letter(self, root_id: int) -> None:
         self.dead_letters.append(root_id)
         self.stats.count_dead_letter()
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(trace_ev.WORM_DEAD_LETTER, root_id=root_id)
 
     # -- queries ----------------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..obs import events as trace_ev
 from .arbiter import Request
 from .flit import Flit, Header
 from .topology import Port
@@ -222,6 +223,7 @@ class Router:
         epoch = net.route_epoch
         cycles_per_step = net.config.cycles_per_step
         hop_budget = net.config.hop_budget
+        tr = net.tracer
         stuck_messages: list[int] = []
         for iv in self._ivs:
             buf = iv.buffer
@@ -243,6 +245,11 @@ class Router:
                     continue
                 decision = algo.route(self, header, iv.port, iv.vc)
                 net.stats.count_decision(decision.steps)
+                if tr.enabled:
+                    tr.emit(trace_ev.RULE_DECISION, node=self.node,
+                            msg_id=header.msg_id, steps=decision.steps,
+                            deliver=decision.deliver,
+                            candidates=len(decision.candidates))
                 latency = max(1, decision.steps * cycles_per_step)
                 iv.state = state = ROUTING
                 iv.header = header
@@ -367,6 +374,9 @@ class Router:
         down._has_incoming = True
         net._active.add(down.node)
         net.stats.flit_hops += 1
+        metrics = net.metrics
+        if metrics is not None:
+            metrics.count_link(self.node, down.node)
 
     # -- fault handling -----------------------------------------------------------
 

@@ -39,6 +39,10 @@ class StatsCollector:
     #: delivery_cycle - first_drop_cycle of every message that was
     #: ripped up / stranded and later delivered by a retransmission
     _recovery_times: list[int] = field(default_factory=list)
+    #: attached :class:`~repro.obs.metrics.MetricsTimeseries` (set by
+    #: the network when one is configured; None keeps summaries
+    #: bit-identical to the unobserved simulator)
+    timeseries: object | None = None
 
     # -- recording -----------------------------------------------------
 
@@ -137,6 +141,12 @@ class StatsCollector:
         return len(self._latencies)
 
     def summary(self, n_nodes: int) -> dict:
+        out = self._summary(n_nodes)
+        if self.timeseries is not None:
+            out["metrics"] = self.timeseries.to_dict()
+        return out
+
+    def _summary(self, n_nodes: int) -> dict:
         return {
             "cycles": self.now,
             "messages_delivered": self.messages_delivered,

@@ -39,7 +39,7 @@ def parse_params(pairs: list[str]) -> dict:
 
 def describe_base(rb, show_table_stats: bool) -> str:
     lines = [f"rule base {rb.name}"
-             + (f" (subbase)" if rb.is_subbase else "")]
+             + (" (subbase)" if rb.is_subbase else "")]
     if rb.params:
         params = ", ".join(f"{n} IN {d}" for n, d in rb.params)
         lines.append(f"  parameters : {params}")

@@ -3,7 +3,7 @@ table generation)."""
 
 import pytest
 
-from repro.core.compiler import (NO_RULE, CompiledRuleBase, compile_program)
+from repro.core.compiler import compile_program
 from repro.core.dsl import CompileError
 
 from .test_parser import ROUTE_C_EXCERPT

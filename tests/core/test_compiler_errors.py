@@ -4,8 +4,7 @@ import pytest
 
 from repro.core import RuleEngine
 from repro.core.compiler import compile_program
-from repro.core.dsl import (CompileError, EvalError, LexError, ParseError,
-                            SemanticError)
+from repro.core.dsl import EvalError, LexError, ParseError, SemanticError
 
 
 class TestFrontEndErrors:

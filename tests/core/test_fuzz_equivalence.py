@@ -87,7 +87,7 @@ def commands(draw):
         return f"arr({cell}) <- {draw(st.sampled_from(list(INT_VARS)))}"
     if kind == "emit":
         return f"!ping({draw(st.sampled_from(list(INT_VARS)))})"
-    return f"v1 <- sensor"
+    return "v1 <- sensor"
 
 
 @st.composite

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.dsl import (BOOL, IntRange, SemanticError, SetDomain,
+from repro.core.dsl import (BOOL, IntRange, SemanticError,
                             SymbolDomain, analyze_source)
 
 from .test_parser import ROUTE_C_EXCERPT

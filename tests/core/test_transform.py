@@ -1,11 +1,10 @@
 """Tests for the semantics-preserving rule-base transformations."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import RuleEngine
 from repro.core.compiler import CompiledProgram, compile_program
-from repro.core.compiler.transform import (FALSE, TRUE, fold_premise,
+from repro.core.compiler.transform import (TRUE, fold_premise,
                                            fold_rules, merge_adjacent_rules,
                                            optimize_base)
 from repro.core.dsl import analyze_source
@@ -144,7 +143,7 @@ class TestDeadRuleElimination:
         assert report.rules_after == 1
 
     def test_optimizing_shipped_rulesets_is_safe(self):
-        from repro.routing.rulesets import compile_ruleset, ruleset_source
+        from repro.routing.rulesets import ruleset_source
         src = ruleset_source("route_c")
         a = analyze_source(src, {"d": 4, "a": 2})
         for name, base in a.rulebases.items():

@@ -2,8 +2,6 @@
 (the full Figure-3 architecture), differentially checked against the
 native Python NAFTA."""
 
-import pytest
-
 from repro.routing import NaftaRouting, RuleDrivenNafta
 from repro.sim import (FaultSchedule, Mesh2D, Network, SimConfig,
                        TrafficGenerator)

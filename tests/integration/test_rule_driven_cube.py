@@ -1,8 +1,6 @@
 """Integration: the ROUTE_C rule program driving hypercube routers,
 differential against the native Python ROUTE_C."""
 
-import pytest
-
 from repro.routing import RouteCRouting, RuleDrivenRouteC
 from repro.sim import (FaultSchedule, Hypercube, Network, SimConfig,
                        TrafficGenerator)

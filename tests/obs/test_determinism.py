@@ -1,0 +1,98 @@
+"""Trace determinism: the same spec + seed must produce byte-identical
+trace JSON — serially, across repeated runs, and through the sweep
+engine's worker processes (the PR 2 process pool)."""
+
+import json
+from dataclasses import replace
+
+from repro.experiments import WorkloadSpec, run_sweep, run_workload
+from repro.obs import chrome_trace
+from repro.sim import Mesh2D
+
+
+def _spec(seed=9):
+    return WorkloadSpec(
+        topology=Mesh2D(4, 4),
+        algorithm="nafta",
+        load=0.12,
+        message_length=4,
+        cycles=500,
+        warmup=100,
+        seed=seed,
+        fault_mode="harsh",
+        detection_delay=20,
+        diagnosis_hop_delay=2,
+        retry_limit=4,
+        retry_backoff=8,
+        timed_faults=[(150, "link", (5, 6))],
+        trace=True,
+        trace_capacity=1 << 16,
+        metrics_stride=2,
+    )
+
+
+def _blob(result):
+    return json.dumps(
+        {"trace": result["trace"], "metrics": result["metrics"]},
+        sort_keys=True,
+    )
+
+
+class TestSerialDeterminism:
+    def test_same_spec_same_bytes(self):
+        a = run_workload(_spec())
+        b = run_workload(_spec())
+        assert _blob(a) == _blob(b)
+
+    def test_different_seeds_differ(self):
+        a = run_workload(_spec(seed=9))
+        b = run_workload(_spec(seed=10))
+        assert _blob(a) != _blob(b)
+
+    def test_chrome_export_is_deterministic(self):
+        a = run_workload(_spec())
+        b = run_workload(_spec())
+        da = chrome_trace(a["trace"], a["metrics"])
+        db = chrome_trace(b["trace"], b["metrics"])
+        assert json.dumps(da, sort_keys=True) == json.dumps(db, sort_keys=True)
+
+
+class TestPoolDeterminism:
+    def test_worker_processes_reproduce_serial_traces(self):
+        specs = [_spec(seed=9), _spec(seed=10)]
+        serial = [run_workload(s) for s in specs]
+        pooled = run_sweep(
+            [replace(s) for s in specs], workers=2, cache=False
+        )
+        for s, p in zip(serial, pooled):
+            assert _blob(s) == _blob(p)
+
+    def test_trace_blobs_are_plain_json(self):
+        # the pool ships results over pickle and the cache over JSON;
+        # a trace must survive a JSON round-trip unchanged
+        res = run_workload(_spec())
+        assert json.loads(_blob(res)) == {
+            "trace": res["trace"],
+            "metrics": res["metrics"],
+        }
+
+
+class TestCampaignPassthrough:
+    def test_campaign_scenarios_carry_traces(self):
+        from repro.experiments import run_campaign
+
+        report = run_campaign(
+            2,
+            workers=0,
+            cache=False,
+            width=4,
+            height=4,
+            n_link_faults=1,
+            cycles=500,
+            warmup=100,
+            trace=True,
+            metrics_stride=4,
+        )
+        for s in report["scenarios"]:
+            assert s["trace"]["events"]
+            assert s["metrics"]["columns"]["cycle"]

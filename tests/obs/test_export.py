@@ -1,0 +1,109 @@
+"""Chrome trace_event export and the ASCII timeline."""
+
+import json
+
+from repro.obs import ascii_timeline, chrome_trace
+from repro.obs.export import PID_NETWORK, PID_RULES, PID_WORMS
+
+
+def _trace(events):
+    return {"capacity": 1024, "dropped": 0, "events": events}
+
+
+class TestChromeTrace:
+    def test_process_metadata(self):
+        doc = chrome_trace(_trace([]))
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert names == {PID_NETWORK: "network", PID_WORMS: "worms", PID_RULES: "rules"}
+
+    def test_delivered_worm_becomes_complete_slice(self):
+        doc = chrome_trace(
+            _trace(
+                [
+                    [
+                        120,
+                        "worm.deliver",
+                        {"msg_id": 5, "src": 2, "dst": 9, "injected": 100, "hops": 4},
+                    ]
+                ]
+            )
+        )
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1
+        (s,) = slices
+        assert s["pid"] == PID_WORMS
+        assert s["tid"] == 2  # one thread row per source node
+        assert s["ts"] == 100 and s["dur"] == 20
+        assert "msg 5" in s["name"]
+
+    def test_rule_events_go_to_the_rules_process(self):
+        doc = chrome_trace(
+            _trace([[7, "rule.decision", {"node": 3, "steps": 2, "msg_id": 1}]])
+        )
+        (inst,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert inst["pid"] == PID_RULES
+        assert inst["tid"] == 3
+        assert inst["args"]["steps"] == 2
+
+    def test_network_events_are_instants(self):
+        doc = chrome_trace(
+            _trace([[50, "fault.inject", {"fault": "link", "target": [1, 2]}]])
+        )
+        (inst,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert inst["pid"] == PID_NETWORK
+        assert inst["ts"] == 50
+        assert inst["name"] == "fault.inject"
+
+    def test_metrics_become_counters(self):
+        metrics = {
+            "stride": 2,
+            "samples": 2,
+            "columns": {"cycle": [0, 2], "in_flight_flits": [3, 7]},
+            "link_flits": {},
+        }
+        doc = chrome_trace(_trace([]), metrics)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert [(c["ts"], c["args"]["value"]) for c in counters] == [(0, 3), (2, 7)]
+
+    def test_dropped_count_surfaces(self):
+        doc = chrome_trace({"capacity": 2, "dropped": 9, "events": []})
+        assert doc["otherData"]["dropped_events"] == 9
+
+    def test_document_is_json_serializable(self):
+        doc = chrome_trace(
+            _trace([[1, "worm.inject", {"msg_id": 0, "node": 0}]]),
+            {
+                "stride": 1,
+                "samples": 1,
+                "columns": {"cycle": [1], "in_flight_flits": [1]},
+                "link_flits": {"0->1": 1},
+            },
+        )
+        json.dumps(doc)
+
+
+class TestAsciiTimeline:
+    def test_charts_from_metrics(self):
+        metrics = {
+            "stride": 1,
+            "samples": 4,
+            "columns": {
+                "cycle": [0, 1, 2, 3],
+                "in_flight_flits": [0, 4, 6, 2],
+                "source_backlog": [1, 1, 0, 0],
+                "retry_queue": [0, 0, 1, 0],
+                "messages_delivered": [0, 1, 3, 6],
+            },
+            "link_flits": {},
+        }
+        out = ascii_timeline(metrics)
+        assert "occupancy over time" in out
+        assert "cumulative deliveries" in out
+
+    def test_empty_metrics(self):
+        out = ascii_timeline({"columns": {}})
+        assert out == "(no metrics samples)"

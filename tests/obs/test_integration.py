@@ -1,0 +1,159 @@
+"""Tracing wired through the live simulator: event coverage on a
+faulted run, rule-machine emissions, and neutrality when disabled."""
+
+import hashlib
+import json
+
+from repro.obs import MetricsTimeseries, RingTracer, events
+from repro.routing.registry import make_algorithm
+from repro.sim import FaultSchedule, Mesh2D, Network, SimConfig, TrafficGenerator
+
+
+def _faulted_run(tracer=None, metrics=None, cycles=900):
+    topo = Mesh2D(4, 4)
+    cfg = SimConfig(
+        fault_mode="harsh",
+        detection_delay=20,
+        diagnosis_hop_delay=2,
+        retry_limit=4,
+        retry_backoff=8,
+    )
+    net = Network(topo, make_algorithm("nafta"), cfg, tracer=tracer, metrics=metrics)
+    sched = FaultSchedule()
+    sched.add_link_fault(200, topo.node_at(1, 1), topo.node_at(2, 1))
+    net.schedule_faults(sched)
+    net.attach_traffic(
+        TrafficGenerator(topo, "uniform", load=0.12, message_length=4, seed=5)
+    )
+    net.run(cycles)
+    net.traffic = None
+    net.run_until_drained()
+    return net
+
+
+def _digest(net):
+    order = [
+        (m.header.msg_id, m.injected, m.delivered, m.hops, m.dropped)
+        for m in net.messages.values()
+    ]
+    stats = net.stats.summary(16)
+    # neutrality is about the simulated dynamics; the summary gaining a
+    # "metrics" payload when a timeseries is attached is the feature
+    stats.pop("metrics", None)
+    blob = json.dumps({"stats": stats, "order": order}, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class TestEventCoverage:
+    def test_faulted_run_emits_the_taxonomy(self):
+        tr = RingTracer(capacity=1 << 16)
+        _faulted_run(tracer=tr)
+        kinds = {e.kind for e in tr.drain()}
+        assert events.WORM_CREATED in kinds
+        assert events.WORM_INJECT in kinds
+        assert events.WORM_DELIVER in kinds
+        assert events.WORM_DROP in kinds
+        assert events.WORM_RETRY in kinds
+        assert events.LINK_ARB in kinds
+        assert events.RULE_DECISION in kinds
+        assert events.FAULT_INJECT in kinds
+        assert events.FAULT_DETECT in kinds
+        assert events.FAULT_FLOOD_START in kinds
+        assert events.FAULT_FLOOD_NODE in kinds
+        assert events.FAULT_CONVERGED in kinds
+        assert kinds <= events.ALL_KINDS
+
+    def test_cycle_stamps_are_monotonic(self):
+        tr = RingTracer(capacity=1 << 16)
+        _faulted_run(tracer=tr)
+        cycles = [e.cycle for e in tr.drain()]
+        assert cycles == sorted(cycles)
+
+    def test_deliver_carries_the_worm_lifetime(self):
+        tr = RingTracer(capacity=1 << 16)
+        _faulted_run(tracer=tr)
+        delivers = [e for e in tr.drain() if e.kind == events.WORM_DELIVER]
+        assert delivers
+        for e in delivers:
+            assert e.data["injected"] <= e.cycle
+            assert e.data["hops"] >= 1
+
+    def test_decision_events_carry_step_counts(self):
+        tr = RingTracer(capacity=1 << 16)
+        _faulted_run(tracer=tr)
+        steps = [
+            e.data["steps"] for e in tr.drain() if e.kind == events.RULE_DECISION
+        ]
+        assert steps and all(s >= 1 for s in steps)
+
+
+class TestMetricsCoverage:
+    def test_timeseries_sampled_on_stride(self):
+        m = MetricsTimeseries(stride=4)
+        net = _faulted_run(metrics=m)
+        cycles = m.columns["cycle"]
+        assert cycles and all(c % 4 == 0 for c in cycles)
+        delivered = m.columns["messages_delivered"]
+        # cumulative, and the last sample may precede the final cycle
+        assert delivered == sorted(delivered)
+        assert delivered[-1] <= net.stats.messages_delivered
+        assert net.stats.messages_delivered - delivered[-1] < 8
+        assert sum(m.link_flits.values()) == net.stats.flit_hops
+        # the summary carries the timeseries only when attached
+        assert "metrics" in net.stats.summary(16)
+
+    def test_summary_has_no_metrics_key_when_unobserved(self):
+        net = _faulted_run()
+        assert "metrics" not in net.stats.summary(16)
+
+
+class TestNeutrality:
+    def test_tracing_does_not_perturb_the_run(self):
+        bare = _digest(_faulted_run())
+        traced = _digest(
+            _faulted_run(tracer=RingTracer(capacity=1 << 16))
+        )
+        assert bare == traced
+
+    def test_metrics_do_not_perturb_the_run(self):
+        bare = _digest(_faulted_run())
+        observed = _digest(_faulted_run(metrics=MetricsTimeseries(stride=3)))
+        assert bare == observed
+
+
+class TestRuleMachineEvents:
+    def test_rule_driven_router_emits_invocations(self):
+        topo = Mesh2D(3, 3)
+        tr = RingTracer(capacity=1 << 16)
+        net = Network(topo, make_algorithm("nafta_rules"), SimConfig(), tracer=tr)
+        net.attach_traffic(
+            TrafficGenerator(topo, "uniform", load=0.08, message_length=3, seed=3)
+        )
+        net.run(120)
+        net.traffic = None
+        net.run_until_drained()
+        invokes = [e for e in tr.drain() if e.kind == events.RULE_INVOKE]
+        assert invokes
+        bases = {e.data["base"] for e in invokes}
+        assert "incoming_message" in bases
+        nodes = {e.data["node"] for e in invokes}
+        assert nodes <= set(range(9))
+        assert len(nodes) > 1
+
+    def test_rule_driven_traced_matches_untraced(self):
+        def run(tracer):
+            topo = Mesh2D(3, 3)
+            net = Network(
+                topo, make_algorithm("nafta_rules"), SimConfig(), tracer=tracer
+            )
+            net.attach_traffic(
+                TrafficGenerator(
+                    topo, "uniform", load=0.08, message_length=3, seed=3
+                )
+            )
+            net.run(120)
+            net.traffic = None
+            net.run_until_drained()
+            return json.dumps(net.stats.summary(9), sort_keys=True)
+
+        assert run(None) == run(RingTracer(capacity=1 << 16))

@@ -1,0 +1,113 @@
+"""Unit tests for the ring tracer, the null tracer and the metrics
+timeseries (repro.obs)."""
+
+import pytest
+
+from repro.obs import (
+    ALL_KINDS,
+    GAUGES,
+    NULL_TRACER,
+    MetricsTimeseries,
+    NullTracer,
+    RingTracer,
+    TraceEvent,
+    events,
+)
+
+
+class TestEventTaxonomy:
+    def test_all_kinds_covers_the_constants(self):
+        assert events.WORM_DELIVER in ALL_KINDS
+        assert events.FAULT_FLOOD_START in ALL_KINDS
+        assert events.RULE_INVOKE in ALL_KINDS
+        assert events.SIM_DEADLOCK in ALL_KINDS
+        assert all(isinstance(k, str) and "." in k for k in ALL_KINDS)
+
+    def test_trace_event_round_trip(self):
+        ev = TraceEvent(42, events.WORM_INJECT, {"msg_id": 7, "node": 3})
+        assert TraceEvent.from_list(ev.to_list()) == ev
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("worm.inject", msg_id=1)
+        assert NULL_TRACER.drain() == []
+
+    def test_ring_tracer_is_a_null_tracer(self):
+        # call sites type only against the null interface
+        assert isinstance(RingTracer(), NullTracer)
+
+
+class TestRingTracer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RingTracer(capacity=0)
+
+    def test_records_in_order(self):
+        tr = RingTracer(capacity=8)
+        for cycle in range(3):
+            tr.now = cycle
+            tr.emit("worm.inject", msg_id=cycle)
+        got = tr.drain()
+        assert [e.cycle for e in got] == [0, 1, 2]
+        assert [e.data["msg_id"] for e in got] == [0, 1, 2]
+        assert tr.dropped == 0
+        assert len(tr) == 3
+
+    def test_wraps_oldest_first(self):
+        tr = RingTracer(capacity=3)
+        for i in range(5):
+            tr.now = i
+            tr.emit("worm.inject", msg_id=i)
+        got = tr.drain()
+        assert [e.data["msg_id"] for e in got] == [2, 3, 4]
+        assert tr.dropped == 2
+        assert len(tr) == 3
+
+    def test_to_dict_shape(self):
+        tr = RingTracer(capacity=4)
+        tr.now = 9
+        tr.emit("fault.inject", fault="link", target=[1, 2])
+        blob = tr.to_dict()
+        assert blob["capacity"] == 4
+        assert blob["dropped"] == 0
+        assert blob["events"] == [[9, "fault.inject", {"fault": "link", "target": [1, 2]}]]
+
+
+class TestMetricsTimeseries:
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsTimeseries(stride=0)
+
+    def test_gauge_columns_exist(self):
+        m = MetricsTimeseries()
+        assert set(m.columns) == set(GAUGES)
+
+    def test_link_counter(self):
+        m = MetricsTimeseries()
+        m.count_link(0, 1)
+        m.count_link(0, 1)
+        m.count_link(1, 0)
+        assert m.link_flits == {(0, 1): 2, (1, 0): 1}
+        assert m.to_dict()["link_flits"] == {"0->1": 2, "1->0": 1}
+
+    def test_series_and_rates(self):
+        m = MetricsTimeseries(stride=2)
+        m.columns["cycle"] = [0, 2, 4]
+        m.columns["messages_delivered"] = [0, 4, 10]
+        assert m.series("messages_delivered") == [(0, 0), (2, 4), (4, 10)]
+        assert m.rate_series("messages_delivered") == [(2, 2.0), (4, 3.0)]
+        assert m.n_samples() == 3
+
+    def test_round_trip(self):
+        m = MetricsTimeseries(stride=3)
+        m.columns["cycle"] = [0, 3]
+        m.columns["in_flight_flits"] = [1, 5]
+        m.count_link(2, 6)
+        back = MetricsTimeseries.from_dict(m.to_dict())
+        assert back.stride == 3
+        assert back.columns["cycle"] == [0, 3]
+        assert back.columns["in_flight_flits"] == [1, 5]
+        assert back.link_flits == {(2, 6): 1}
+        assert back.to_dict() == m.to_dict()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.routing import (ALGORITHMS, RoutingError, SpanningTreeRouting,
                            make_algorithm)
-from repro.sim import (FaultSchedule, Hypercube, Mesh2D, Network, SimConfig,
+from repro.sim import (FaultSchedule, Hypercube, Mesh2D, Network,
                        TrafficGenerator)
 
 

@@ -2,7 +2,6 @@
 paper's Section-3 claim about its fault vulnerability."""
 
 import networkx as nx
-import pytest
 
 from repro.analysis import build_cdg, check_deadlock_free
 from repro.routing import DuatoMeshRouting, NaftaRouting

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.routing import NaftaRouting, NaraRouting, assign_virtual_network
-from repro.routing.nafta import VN_FREE, VN_TERMINAL
+from repro.routing.nafta import VN_TERMINAL
 from repro.sim import (EAST, FaultSchedule, Mesh2D, NORTH, Network, SOUTH,
                        SimConfig, TrafficGenerator, WEST, random_link_faults)
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.routing import NaraRouting
 from repro.routing.rulesets import RULESETS, compile_ruleset, load_ruleset
-from repro.routing.rulesets.loader import minimal_cands, qbest
+from repro.routing.rulesets.loader import minimal_cands
 from repro.sim import Mesh2D, Network
 from repro.sim.flit import Header
 
@@ -162,7 +162,7 @@ class TestNaftaDifferential:
         dst = topo.node_at(xdes, ydes)
         hdr = Header(msg_id=0, src=src, dst=dst, length=2, created=0)
         router = net.routers[src]
-        router.output_load = lambda pid: loads[pid] if pid >= 0 else 0
+        router.output_load = lambda pid: loads[pid] if pid >= 0 else 0  # noqa: E731
         decision = net.algorithm.route(router, hdr, -1, 0)
         vn = hdr.fields["vn"]
         eng = load_ruleset("nafta")

@@ -11,7 +11,6 @@ import pytest
 from repro.routing.registry import make_algorithm
 from repro.sim.config import SimConfig
 from repro.sim.faults import FaultSchedule
-from repro.sim.flit import reset_message_ids
 from repro.sim.network import Network
 from repro.sim.topology import Hypercube, Mesh2D, Torus2D
 from repro.sim.traffic import TrafficGenerator
@@ -19,7 +18,6 @@ from repro.sim.traffic import TrafficGenerator
 
 def _run(algo_name, topo_factory, active, faulty=False, harsh=False,
          cycles=600):
-    reset_message_ids()
     topo = topo_factory()
     algo = make_algorithm(algo_name)
     kw = dict(fault_mode="harsh", detection_delay=5) if harsh else {}
@@ -67,7 +65,6 @@ def test_active_set_drains_to_empty():
     """After the network drains, lazy pruning must leave no live
     routers in the active scan (stale entries are allowed in the set
     but must be pruned on the next pass)."""
-    reset_message_ids()
     topo = Mesh2D(4, 4)
     net = Network(topo, make_algorithm("xy"),
                   config=SimConfig(active_scheduling=True))

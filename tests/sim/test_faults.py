@@ -44,7 +44,7 @@ class TestFaultState:
         topo = Mesh2D(4, 4)
         f = FaultState(topo)
         f.fail_link(0, 1)
-        from repro.sim import EAST, NORTH
+        from repro.sim import NORTH
         assert f.alive_ports(0) == [NORTH]
 
     def test_connectivity(self):

@@ -1,11 +1,9 @@
 """Granular unit tests of the router mechanics (flow control, VC
 allocation, crossbar constraints)."""
 
-import pytest
-
 from repro.routing import XYRouting
-from repro.sim import EAST, LOCAL, Mesh2D, Network, SimConfig, WEST
-from repro.sim.router import ACTIVE, IDLE, ROUTED
+from repro.sim import EAST, LOCAL, Mesh2D, Network, SimConfig
+from repro.sim.router import ACTIVE, IDLE
 
 
 def two_node_net(buffer_depth=2):

@@ -2,6 +2,8 @@
 
 import math
 
+import warnings
+
 import pytest
 
 from repro.sim import FlitKind, Message, StatsCollector, reset_message_ids
@@ -10,7 +12,11 @@ from repro.sim.config import SimConfig
 
 class TestMessage:
     def setup_method(self):
-        reset_message_ids()
+        # the shim warns by design; these tests exercise the bare-Message
+        # fallback counter it still resets
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            reset_message_ids()
 
     def test_single_flit_message(self):
         m = Message.create(0, 5, 1, cycle=10)
@@ -33,7 +39,9 @@ class TestMessage:
         a = Message.create(0, 1, 2, 0)
         b = Message.create(0, 1, 2, 0)
         assert a.header.msg_id != b.header.msg_id
-        reset_message_ids()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            reset_message_ids()
         c = Message.create(0, 1, 2, 0)
         assert c.header.msg_id == 0
 

@@ -1,14 +1,10 @@
 """Tests for the experiments package (runners, harness, paper data)."""
 
-import math
-
-import pytest
-
 from repro.experiments import (PAPER, PAPER_TABLE1, WorkloadSpec, fmt,
                                latency_vs_load, mesh_fault_sweep,
                                paper_table2_row, run_workload,
                                saturation_throughput, table)
-from repro.sim import Hypercube, Mesh2D
+from repro.sim import Mesh2D
 
 
 class TestRunners:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import PAPER_TABLE1
-from repro.hwcost import (CostReport, cost_report, render_registers,
+from repro.hwcost import (cost_report, render_registers,
                           render_table1, render_table2)
 
 

@@ -9,9 +9,8 @@ import pytest
 
 from repro.experiments import (WorkloadSpec, code_version_token,
                                run_sweep, run_workload, sweep_fault_rng)
-from repro.experiments.pool import _run_spec_dict
 from repro.routing.registry import make_algorithm
-from repro.sim import (Hypercube, Mesh2D, Network, SimConfig,
+from repro.sim import (Mesh2D, Network, SimConfig,
                        random_link_faults)
 
 
@@ -138,9 +137,11 @@ class TestMessageIdIsolation:
 
     def test_reset_message_ids_shim_still_works(self):
         from repro.sim import Message, reset_message_ids
-        reset_message_ids()
+        with pytest.warns(DeprecationWarning, match="reset_message_ids"):
+            reset_message_ids()
         a = Message.create(0, 1, 2, 0)
-        reset_message_ids()
+        with pytest.warns(DeprecationWarning):
+            reset_message_ids()
         b = Message.create(0, 1, 2, 0)
         assert a.header.msg_id == b.header.msg_id == 0
 
