@@ -1,0 +1,99 @@
+"""A conformance case: one fully deterministic simulation scenario.
+
+Cases are plain data (topology *description*, explicit fault pattern,
+explicit message list) so they cross process boundaries, serialize to
+JSON corpus entries, and replay bit-identically months later — no RNG
+state is needed to re-run one, the generator's seed is recorded only
+for provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from hashlib import sha256
+
+from ..sim.topology import Topology, topology_from_dict
+
+#: bump when the case format changes incompatibly
+CASE_SCHEMA = 1
+
+
+@dataclass
+class ConformanceCase:
+    """One scenario: who routes what, where, and what is broken."""
+
+    algorithm: str
+    topology: dict
+    #: (offer_cycle, src, dst, length) per message, offered in order
+    messages: list[tuple[int, int, int, int]]
+    fault_links: list[tuple[int, int]] = field(default_factory=list)
+    fault_nodes: list[int] = field(default_factory=list)
+    buffer_depth: int = 4
+    arbiter: str = "round_robin"
+    #: name of a registered test-only mutation to apply while running
+    #: (None = pristine algorithm); recorded so replays reproduce the
+    #: injected bug
+    mutation: str | None = None
+    #: generator provenance (not part of the behaviour)
+    seed: int = 0
+    max_cycles: int = 50_000
+
+    def build_topology(self) -> Topology:
+        return topology_from_dict(self.topology)
+
+    def has_faults(self) -> bool:
+        return bool(self.fault_links or self.fault_nodes)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": CASE_SCHEMA,
+            "algorithm": self.algorithm,
+            "topology": dict(self.topology),
+            "messages": [list(m) for m in self.messages],
+            "fault_links": [list(f) for f in self.fault_links],
+            "fault_nodes": list(self.fault_nodes),
+            "buffer_depth": self.buffer_depth,
+            "arbiter": self.arbiter,
+            "mutation": self.mutation,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ConformanceCase":
+        schema = d.get("schema", CASE_SCHEMA)
+        if schema != CASE_SCHEMA:
+            raise ValueError(f"case schema {schema} unsupported "
+                             f"(this build reads {CASE_SCHEMA})")
+        return cls(
+            algorithm=d["algorithm"],
+            topology=dict(d["topology"]),
+            messages=[tuple(m) for m in d["messages"]],
+            fault_links=[tuple(f) for f in d.get("fault_links", [])],
+            fault_nodes=list(d.get("fault_nodes", [])),
+            buffer_depth=int(d.get("buffer_depth", 4)),
+            arbiter=d.get("arbiter", "round_robin"),
+            mutation=d.get("mutation"),
+            seed=int(d.get("seed", 0)),
+            max_cycles=int(d.get("max_cycles", 50_000)),
+        )
+
+    def case_key(self) -> str:
+        """Content address of the scenario (no code token: a case is a
+        *scenario*, not a result — the same key must find the same
+        corpus entry across code versions)."""
+        blob = json.dumps(self.to_dict(), sort_keys=True)
+        return sha256(blob.encode()).hexdigest()[:16]
+
+    def involved_nodes(self) -> set[int]:
+        """Every node id the case references (shrinkers use this to
+        decide whether a smaller topology still contains the case)."""
+        nodes: set[int] = set(self.fault_nodes)
+        for a, b in self.fault_links:
+            nodes.add(a)
+            nodes.add(b)
+        for _, src, dst, _ in self.messages:
+            nodes.add(src)
+            nodes.add(dst)
+        return nodes

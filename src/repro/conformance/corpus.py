@@ -1,0 +1,57 @@
+"""Replayable corpus of shrunk failing cases.
+
+One JSON file per failure under ``conformance/corpus/`` at the repo
+root, named ``<oracle>_<case_key>.json``.  An entry stores the shrunk
+case, the violations observed, and enough provenance (original case,
+code-irrelevant by design) that ``conform replay`` re-runs and
+re-judges it deterministically on any checkout.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .case import CASE_SCHEMA, ConformanceCase
+
+ENTRY_SCHEMA = 1
+
+
+def default_corpus_dir() -> Path:
+    """``conformance/corpus/`` next to the package's repo root."""
+    return Path(__file__).resolve().parents[3] / "conformance" / "corpus"
+
+
+def entry_name(case: ConformanceCase, violations) -> str:
+    oracle = violations[0]["oracle"] if violations else "unknown"
+    return f"{oracle}_{case.case_key()}.json"
+
+
+def save_entry(case: ConformanceCase, violations: list[dict],
+               corpus_dir=None, *,
+               original: ConformanceCase | None = None) -> Path:
+    """Write one corpus entry; returns its path."""
+    cdir = Path(corpus_dir) if corpus_dir is not None \
+        else default_corpus_dir()
+    cdir.mkdir(parents=True, exist_ok=True)
+    path = cdir / entry_name(case, violations)
+    blob = {
+        "schema": ENTRY_SCHEMA,
+        "case_schema": CASE_SCHEMA,
+        "case": case.to_dict(),
+        "case_key": case.case_key(),
+        "violations": violations,
+        "original": None if original is None else original.to_dict(),
+    }
+    path.write_text(json.dumps(blob, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_entry(path) -> tuple[ConformanceCase, list[dict]]:
+    """(case, expected violations) from a corpus entry file."""
+    blob = json.loads(Path(path).read_text())
+    if blob.get("schema") != ENTRY_SCHEMA:
+        raise ValueError(f"corpus entry schema {blob.get('schema')} "
+                         f"unsupported (this build reads {ENTRY_SCHEMA})")
+    return (ConformanceCase.from_dict(blob["case"]),
+            list(blob.get("violations", [])))

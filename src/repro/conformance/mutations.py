@@ -1,0 +1,98 @@
+"""Test-only routing-bug mutations.
+
+Each mutation is a context manager that monkeypatches a routing class
+for the duration of one case run, injecting a *specific, plausible*
+bug.  They exist to prove the oracles have teeth: a harness that never
+catches anything is indistinguishable from one that checks nothing.
+A case records its mutation by name, so a corpus entry produced under
+a mutation replays the same bug deterministically.
+
+Mutations must never be active outside ``apply_mutation`` — the
+patches restore the original attributes on exit, exceptions included.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..routing import route_c as _route_c
+from ..routing.dimension_order import XYRouting
+from ..sim.router import LOCAL
+
+
+@contextmanager
+def _patched(obj, name, value):
+    orig = getattr(obj, name)
+    setattr(obj, name, value)
+    try:
+        yield
+    finally:
+        setattr(obj, name, orig)
+
+
+@contextmanager
+def route_c_skip_safe_check():
+    """ROUTE_C without the safe-node discipline: strongly-unsafe
+    neighbours become ordinary candidates and the safety lattice no
+    longer orders them last.  Delivered worms can then transit a
+    SUNSAFE node — exactly what the ``route_c_safe_nodes`` oracle
+    forbids."""
+
+    def usable(self, router, dim, header):
+        sm = self.state_map
+        p = router.topology.port(router.node, dim)
+        if p is None or not sm.faults.link_ok(router.node, p.neighbor):
+            return False
+        return sm.state(p.neighbor) != _route_c.FAULTY
+
+    def pref(self, router, dim):
+        return 0
+
+    with _patched(_route_c.RouteCRouting, "_usable", usable), \
+            _patched(_route_c.RouteCRouting, "_neighbor_pref", pref):
+        yield
+
+
+@contextmanager
+def xy_wrong_first_hop():
+    """XY routing that takes one gratuitous non-minimal hop at
+    injection when it can — delivered paths gain two hops, violating
+    the minimality oracle (and, if the extra turn closes a channel
+    cycle, the liveness one)."""
+    orig_route = XYRouting.route
+
+    def route(self, router, header, in_port, in_vc):
+        decision = orig_route(self, router, header, in_port, in_vc)
+        if in_port != LOCAL or decision.deliver or not decision.candidates:
+            return decision
+        minimal = {p for p, _ in decision.candidates}
+        for port in sorted(router.ports):
+            if port != LOCAL and port not in minimal \
+                    and router.port_alive(port):
+                decision.candidates.insert(0, (port, in_vc))
+                break
+        return decision
+
+    with _patched(XYRouting, "route", route):
+        yield
+
+
+MUTATIONS = {
+    "route_c_skip_safe_check": route_c_skip_safe_check,
+    "xy_wrong_first_hop": xy_wrong_first_hop,
+}
+
+
+@contextmanager
+def apply_mutation(name: str | None):
+    """Apply a registered mutation (or none, when ``name`` is None)."""
+    if name is None:
+        yield
+        return
+    try:
+        mutation = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(f"unknown mutation {name!r}; choose from "
+                         f"{sorted(MUTATIONS)}") from None
+    with mutation():
+        yield

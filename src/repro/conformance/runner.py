@@ -1,0 +1,140 @@
+"""Run one conformance case and collect everything the oracles need.
+
+Runs are fully deterministic: the case is plain data, faults are
+static (present from cycle 0, already diagnosed — the reliability
+layer's dynamic-fault machinery is off), and message ids are allocated
+per network.  ``run_case_payload`` is the top-level worker the sweep
+pool fans cases out to; oracles run *inside* the worker because they
+need the reconstructed topology and fault state, and only JSON-able
+results travel back.
+"""
+
+from __future__ import annotations
+
+from ..routing.registry import ALGORITHM_META, AlgoMeta, make_algorithm
+from ..sim.config import SimConfig
+from ..sim.faults import FaultSchedule
+from ..sim.network import DeadlockError, Network
+from ..sim.stats import DecisionDigest
+from .case import ConformanceCase
+from .differential import ShadowDifferential
+from .mutations import apply_mutation
+
+#: interpreter variants the cross-interpreter oracle compares: the
+#: production fast path, the compiled decision tables without it, and
+#: the AST reference interpreter
+INTERP_VARIANTS = (
+    ("table+fastpath", {"engine_mode": "table", "fastpath": True}),
+    ("table", {"engine_mode": "table", "fastpath": False}),
+    ("ast", {"engine_mode": "ast", "fastpath": False}),
+)
+
+
+def _simulate(case: ConformanceCase, algorithm) -> dict:
+    """One simulation of ``case`` with a prebuilt algorithm instance."""
+    topo = case.build_topology()
+    config = SimConfig(buffer_depth=case.buffer_depth, trace_paths=True)
+    net = Network(topo, algorithm, config, arbiter=case.arbiter)
+    net.stats.digest = DecisionDigest()
+    if case.has_faults():
+        net.schedule_faults(FaultSchedule.static(
+            links=case.fault_links, nodes=case.fault_nodes))
+
+    offered: list[dict] = []
+    for cycle, src, dst, length in sorted(case.messages,
+                                          key=lambda m: m[0]):
+        while net.cycle < cycle:
+            net.step()
+        msg = net.offer(src, dst, length)
+        offered.append({
+            "src": src, "dst": dst, "length": length, "cycle": cycle,
+            "msg_id": None if msg is None else msg.header.msg_id,
+            "refused": msg is None,
+        })
+
+    deadlock = None
+    try:
+        net.run_until_drained(max_cycles=case.max_cycles)
+    except DeadlockError as exc:
+        diag = exc.diagnosis
+        deadlock = {
+            "cycle": diag.cycle if diag else net.cycle,
+            "blocking_cycle": (list(diag.blocking_cycle)
+                               if diag and diag.blocking_cycle else []),
+            "holding_nodes": (sorted(diag.holding_nodes)
+                              if diag else []),
+        }
+
+    for rec in offered:
+        if rec["refused"]:
+            continue
+        msg = net.messages[rec["msg_id"]]
+        rec["delivered"] = msg.delivered is not None
+        rec["dropped"] = bool(msg.dropped)
+        rec["hops"] = msg.hops
+        rec["trace"] = list(msg.header.fields.get("trace", []))
+
+    return {
+        "summary": net.stats.summary(topo.n_nodes),
+        "digest": net.stats.digest.hexdigest(),
+        "decisions": net.stats.digest.count,
+        "deadlock": deadlock,
+        "messages": offered,
+    }
+
+
+def run_case(case: ConformanceCase, *,
+             shadow: bool = True, interp: bool = True) -> dict:
+    """Run a case (with its recorded mutation, if any) and return the
+    JSON-able evidence dict the oracles consume.
+
+    ``shadow`` adds the ft/nft decision differential when the
+    algorithm's metadata names an nft twin and the case is fault-free;
+    ``interp`` re-runs rule-driven cases under every interpreter
+    variant and records their digests.
+    """
+    meta = ALGORITHM_META[case.algorithm]
+    with apply_mutation(case.mutation):
+        if shadow and meta.nft_equivalent and not case.has_faults():
+            algo = ShadowDifferential(make_algorithm(case.algorithm),
+                                      make_algorithm(meta.nft_equivalent))
+            result = _simulate(case, algo)
+            result["shadow"] = {"against": meta.nft_equivalent,
+                                "mismatches": algo.mismatches}
+        else:
+            result = _simulate(case, make_algorithm(case.algorithm))
+
+        if interp and meta.rule_driven:
+            runs = {}
+            for label, kwargs in INTERP_VARIANTS:
+                sub = _simulate(case, make_algorithm(case.algorithm,
+                                                     **kwargs))
+                runs[label] = {"digest": sub["digest"],
+                               "decisions": sub["decisions"],
+                               "summary": sub["summary"]}
+            result["interp"] = runs
+    return result
+
+
+def run_case_payload(payload: dict) -> dict:
+    """Worker entry point for the sweep pool: case dict in, case key +
+    evidence + violations out (everything JSON-able).  Top-level so it
+    pickles."""
+    from .oracles import check_case  # local: avoid an import cycle
+
+    case = ConformanceCase.from_dict(payload)
+    result = run_case(case)
+    violations = check_case(case, result)
+    return {
+        "case": payload,
+        "case_key": case.case_key(),
+        "algorithm": case.algorithm,
+        "violations": [v.to_dict() for v in violations],
+        "digest": result["digest"],
+        "decisions": result["decisions"],
+        "deadlock": result["deadlock"],
+    }
+
+
+def algo_meta(name: str) -> AlgoMeta:
+    return ALGORITHM_META[name]

@@ -126,6 +126,43 @@ class _Progress:
                   f"({self.hits} cache hits), ETA {eta}")
 
 
+def run_parallel(payloads, worker, *, workers: int = 0, progress=False,
+                 label: str = "batch", stats: dict | None = None,
+                 hits: int = 0, total: int | None = None) -> list:
+    """Fan ``payloads`` out over a process pool, results in submission
+    order.
+
+    The generic core of :func:`run_sweep`, also used by the conformance
+    harness: ``worker`` must be a top-level (picklable) callable taking
+    one payload.  ``workers=0`` (or 1) runs in-process through the same
+    entry point, so serial and parallel runs are identical by
+    construction.  ``hits``/``total`` only pre-load the progress
+    display for callers that satisfied some points elsewhere (e.g. from
+    a cache).
+    """
+    payloads = list(payloads)
+    t0 = time.perf_counter()
+    results: list = [None] * len(payloads)
+    prog = _Progress(progress, label,
+                     total if total is not None else len(payloads), hits)
+    n_workers = min(int(workers), len(payloads))
+    if n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {pool.submit(worker, p): i
+                       for i, p in enumerate(payloads)}
+            for fut in as_completed(futures):
+                results[futures[fut]] = fut.result()
+                prog.tick()
+    else:
+        for i, payload in enumerate(payloads):
+            results[i] = worker(payload)
+            prog.tick()
+    if stats is not None:
+        stats.update(total=len(payloads), workers=n_workers,
+                     wall_s=time.perf_counter() - t0)
+    return results
+
+
 def run_sweep(specs, *, workers: int = 0, cache: bool = False,
               cache_dir=None, progress=False, label: str = "sweep",
               stats: dict | None = None) -> list[dict]:
@@ -157,21 +194,11 @@ def run_sweep(specs, *, workers: int = 0, cache: bool = False,
                 hits += 1
 
     todo = [i for i, res in enumerate(results) if res is None]
-    prog = _Progress(progress, label, len(specs), hits)
-    n_workers = min(int(workers), len(todo))
-    if n_workers > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {pool.submit(_run_spec_dict, payloads[i]): i
-                       for i in todo}
-            for fut in as_completed(futures):
-                results[futures[fut]] = fut.result()
-                prog.tick()
-    else:
-        # same entry point as the workers (spec rebuilt from its dict),
-        # so serial and parallel runs are byte-identical by construction
-        for i in todo:
-            results[i] = _run_spec_dict(payloads[i])
-            prog.tick()
+    sub = run_parallel([payloads[i] for i in todo], _run_spec_dict,
+                       workers=workers, progress=progress, label=label,
+                       hits=hits, total=len(specs))
+    for i, res in zip(todo, sub):
+        results[i] = res
 
     if cache:
         for i in todo:
@@ -180,5 +207,6 @@ def run_sweep(specs, *, workers: int = 0, cache: bool = False,
 
     if stats is not None:
         stats.update(total=len(specs), cache_hits=hits, simulated=len(todo),
-                     workers=n_workers, wall_s=time.perf_counter() - t0)
+                     workers=min(int(workers), len(todo)),
+                     wall_s=time.perf_counter() - t0)
     return results

@@ -53,8 +53,11 @@ class RuleDrivenNafta(RoutingAlgorithm):
     n_vcs = 2
     fault_tolerant = True
 
-    def __init__(self, qmax: int = 63):
+    def __init__(self, qmax: int = 63, engine_mode: str = "table",
+                 fastpath: bool = True):
         self.qmax = qmax
+        self.engine_mode = engine_mode
+        self.fastpath = fastpath
         self.engines: list[RuleEngine] = []
         self.compiled = None
         self._rmax = 15
@@ -72,7 +75,9 @@ class RuleDrivenNafta(RoutingAlgorithm):
                   "qmax": self.qmax, "rmax": self._rmax}
         self.compiled = compile_ruleset("nafta", params)
         spec = RULESETS["nafta"]
-        self.engines = [RuleEngine(self.compiled, functions=spec.functions)
+        self.engines = [RuleEngine(self.compiled, functions=spec.functions,
+                                   mode=self.engine_mode,
+                                   fastpath=self.fastpath)
                         for _ in topo.nodes()]
         self.network = network
         _attach_tracers(network, self.engines)
@@ -269,7 +274,9 @@ class RuleDrivenRouteC(RoutingAlgorithm):
     n_vcs = 5
     fault_tolerant = True
 
-    def __init__(self):
+    def __init__(self, engine_mode: str = "table", fastpath: bool = True):
+        self.engine_mode = engine_mode
+        self.fastpath = fastpath
         self.engines: list[RuleEngine] = []
         self.compiled = None
         self._d = 0
@@ -284,7 +291,9 @@ class RuleDrivenRouteC(RoutingAlgorithm):
         self._d = topo.dimension
         self.compiled = compile_ruleset("route_c", {"d": self._d, "a": 2})
         spec = RULESETS["route_c"]
-        self.engines = [RuleEngine(self.compiled, functions=spec.functions)
+        self.engines = [RuleEngine(self.compiled, functions=spec.functions,
+                                   mode=self.engine_mode,
+                                   fastpath=self.fastpath)
                         for _ in topo.nodes()]
         self.network = network
         _attach_tracers(network, self.engines)

@@ -245,6 +245,9 @@ class Router:
                     continue
                 decision = algo.route(self, header, iv.port, iv.vc)
                 net.stats.count_decision(decision.steps)
+                dg = net.stats.digest
+                if dg is not None:
+                    dg.update(self.node, header.msg_id, decision)
                 if tr.enabled:
                     tr.emit(trace_ev.RULE_DECISION, node=self.node,
                             msg_id=header.msg_id, steps=decision.steps,

@@ -8,11 +8,39 @@ it.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .flit import Message
+
+
+class DecisionDigest:
+    """Canonical running digest of every routing decision in a run.
+
+    Two simulations agree bit-for-bit on routing behaviour iff their
+    digests match: each ``route_stage`` decision is folded in as
+    ``node|msg_id|deliver|stuck|steps|(port,vc)...`` in the order the
+    scheduler made them, so interpreter variants (fastpath, compiled
+    table, AST) can be compared without storing full decision logs.
+    """
+
+    __slots__ = ("_hash", "count")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.count = 0
+
+    def update(self, node: int, msg_id: int, decision) -> None:
+        parts = [str(node), str(msg_id), "1" if decision.deliver else "0",
+                 "1" if decision.stuck else "0", str(decision.steps)]
+        parts.extend(f"{p}.{v}" for p, v in decision.candidates)
+        self._hash.update(("|".join(parts) + "\n").encode())
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
 
 
 @dataclass
@@ -43,6 +71,9 @@ class StatsCollector:
     #: the network when one is configured; None keeps summaries
     #: bit-identical to the unobserved simulator)
     timeseries: object | None = None
+    #: attached :class:`DecisionDigest` (opt-in, e.g. by the conformance
+    #: harness; None keeps summaries bit-identical to undigested runs)
+    digest: DecisionDigest | None = None
 
     # -- recording -----------------------------------------------------
 
@@ -144,6 +175,9 @@ class StatsCollector:
         out = self._summary(n_nodes)
         if self.timeseries is not None:
             out["metrics"] = self.timeseries.to_dict()
+        if self.digest is not None:
+            out["decision_digest"] = self.digest.hexdigest()
+            out["decision_digest_count"] = self.digest.count
         return out
 
     def _summary(self, n_nodes: int) -> dict:

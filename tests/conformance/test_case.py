@@ -1,0 +1,82 @@
+"""Serialization and identity of ConformanceCase."""
+
+import pytest
+
+from repro.conformance import ConformanceCase
+from repro.conformance.case import CASE_SCHEMA
+
+
+def _case(**over):
+    base = dict(
+        algorithm="nafta",
+        topology={"kind": "mesh2d", "width": 4, "height": 3},
+        messages=[(0, 0, 11, 3), (2, 5, 1, 1)],
+        fault_links=[(0, 1)],
+        fault_nodes=[6],
+        buffer_depth=2,
+        seed=7,
+    )
+    base.update(over)
+    return ConformanceCase(**base)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_is_identity(self):
+        case = _case()
+        again = ConformanceCase.from_dict(case.to_dict())
+        assert again == case
+        assert again.to_dict() == case.to_dict()
+
+    def test_json_tuples_normalized(self):
+        # JSON turns tuples into lists; from_dict must restore tuples
+        # so equality and hashing keys stay stable
+        import json
+
+        d = json.loads(json.dumps(_case().to_dict()))
+        again = ConformanceCase.from_dict(d)
+        assert again == _case()
+        assert all(isinstance(m, tuple) for m in again.messages)
+
+    def test_schema_recorded_and_guarded(self):
+        d = _case().to_dict()
+        assert d["schema"] == CASE_SCHEMA
+        d["schema"] = CASE_SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            ConformanceCase.from_dict(d)
+
+    def test_mutation_survives_roundtrip(self):
+        case = _case(mutation="route_c_skip_safe_check")
+        assert ConformanceCase.from_dict(
+            case.to_dict()).mutation == "route_c_skip_safe_check"
+
+
+class TestCaseKey:
+    def test_key_is_stable(self):
+        assert _case().case_key() == _case().case_key()
+
+    def test_key_ignores_provenance_seed_only_behaviour(self):
+        # the seed is provenance, but it is serialized, so it is part
+        # of the key; behavioural fields definitely must change it
+        k = _case().case_key()
+        assert _case(buffer_depth=4).case_key() != k
+        assert _case(fault_nodes=[]).case_key() != k
+        assert _case(messages=[(0, 0, 11, 3)]).case_key() != k
+
+    def test_key_shape(self):
+        key = _case().case_key()
+        assert len(key) == 16
+        int(key, 16)  # hex
+
+
+class TestAccessors:
+    def test_build_topology(self):
+        topo = _case().build_topology()
+        assert topo.n_nodes == 12
+
+    def test_has_faults(self):
+        assert _case().has_faults()
+        assert not _case(fault_links=[], fault_nodes=[]).has_faults()
+
+    def test_involved_nodes(self):
+        nodes = _case().involved_nodes()
+        assert {0, 11, 5, 1, 6} <= nodes

@@ -1,0 +1,87 @@
+"""The ``python -m repro.tools.conform`` CLI: exit codes and corpus
+side effects for run / replay / shrink."""
+
+import json
+
+import pytest
+
+from repro.tools.conform import main
+
+
+def test_run_clean_slice_exits_zero(capsys):
+    rc = main(["run", "--cases", "6", "--seed", "0",
+               "--algorithms", "xy,nara"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "6 cases, 0 violations" in out
+
+
+def test_run_rejects_unknown_algorithm():
+    with pytest.raises(SystemExit):
+        main(["run", "--cases", "2", "--algorithms", "nonesuch"])
+
+
+def test_run_rejects_unknown_mutation():
+    with pytest.raises(SystemExit):
+        main(["run", "--cases", "2", "--mutate", "nonesuch"])
+
+
+@pytest.fixture(scope="module")
+def caught_corpus(tmp_path_factory):
+    """A mutated run that catches the ROUTE_C bug and writes a shrunk
+    corpus entry (the pinned catching case is index 39 of seed 1, so
+    40 cases suffice)."""
+    corpus = tmp_path_factory.mktemp("corpus")
+    rc = main(["run", "--cases", "40", "--seed", "1",
+               "--algorithms", "route_c",
+               "--mutate", "route_c_skip_safe_check",
+               "--corpus-dir", str(corpus),
+               "--shrink-evals", "60"])
+    entries = sorted(corpus.glob("*.json"))
+    return rc, entries
+
+
+def test_mutated_run_fails_and_saves_shrunk_entry(caught_corpus):
+    rc, entries = caught_corpus
+    assert rc >= 1  # exit code = number of failing cases
+    assert entries, "no corpus entry written"
+    assert entries[0].name.startswith("route_c_safe_nodes_")
+    blob = json.loads(entries[0].read_text())
+    assert blob["case"]["mutation"] == "route_c_skip_safe_check"
+    assert blob["original"] is not None
+    # shrunk: no bigger than the generator's tiniest faulted scenarios
+    assert len(blob["case"]["messages"]) <= 2
+
+
+def test_replay_reproduces_entry(caught_corpus, capsys):
+    _, entries = caught_corpus
+    rc = main(["replay", str(entries[0])])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "reproduced" in out
+
+
+def test_replay_expect_clean_fails_on_failing_entry(caught_corpus,
+                                                    capsys):
+    _, entries = caught_corpus
+    rc = main(["replay", str(entries[0]), "--expect-clean"])
+    assert rc == 1
+    assert "oracles fired" in capsys.readouterr().out
+
+
+def test_replay_json_dumps_evidence(caught_corpus, capsys):
+    _, entries = caught_corpus
+    rc = main(["replay", str(entries[0]), "--json"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    payload = json.loads(out[:out.rindex("}") + 1])
+    assert payload["violations"]
+
+
+def test_shrink_command_writes_entry(caught_corpus, tmp_path, capsys):
+    _, entries = caught_corpus
+    rc = main(["shrink", str(entries[0]), "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "shrunk in" in out
+    assert list(tmp_path.glob("route_c_safe_nodes_*.json"))

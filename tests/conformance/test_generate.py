@@ -1,0 +1,84 @@
+"""The case generator: determinism and metadata discipline."""
+
+from itertools import islice
+
+from repro.conformance import generate_cases
+from repro.conformance.generate import generate_case
+from repro.routing.registry import ALGORITHM_META
+
+
+class TestDeterminism:
+    def test_same_coordinates_same_case(self):
+        for algo in ("xy", "nafta", "route_c", "updown", "nafta_rules"):
+            a = generate_case(algo, seed=3, index=17)
+            b = generate_case(algo, seed=3, index=17)
+            assert a == b, algo
+
+    def test_indices_are_independent(self):
+        # adding cases must never reshuffle earlier ones: case i depends
+        # only on (algorithm, seed, i), not on how many were drawn before
+        direct = generate_case("nafta", seed=5, index=2)
+        streamed = list(islice(generate_cases(["nafta"], seed=5), 3))[2]
+        assert direct == streamed
+
+    def test_different_seeds_differ(self):
+        cases_a = [generate_case("nafta", 0, i) for i in range(6)]
+        cases_b = [generate_case("nafta", 1, i) for i in range(6)]
+        assert cases_a != cases_b
+
+
+class TestMetadataDiscipline:
+    def test_every_algorithm_generates(self):
+        for algo in ALGORITHM_META:
+            case = generate_case(algo, seed=0, index=0)
+            assert case.algorithm == algo
+            case.build_topology()  # recipe must be valid
+
+    def test_non_ft_algorithms_get_no_faults(self):
+        for algo, meta in ALGORITHM_META.items():
+            if meta.max_link_faults or meta.max_node_faults:
+                continue
+            for i in range(10):
+                assert not generate_case(algo, 0, i).has_faults(), algo
+
+    def test_fault_budgets_respected(self):
+        for algo, meta in ALGORITHM_META.items():
+            for i in range(20):
+                case = generate_case(algo, 2, i)
+                assert len(case.fault_links) <= meta.max_link_faults
+                assert len(case.fault_nodes) <= meta.max_node_faults
+
+    def test_topology_kind_from_metadata(self):
+        for algo, meta in ALGORITHM_META.items():
+            for i in range(8):
+                case = generate_case(algo, 4, i)
+                assert case.topology["kind"] in meta.topologies, algo
+
+    def test_messages_avoid_faulty_endpoints(self):
+        for i in range(30):
+            case = generate_case("nafta", 6, i)
+            for _, src, dst, _ in case.messages:
+                assert src not in case.fault_nodes
+                assert dst not in case.fault_nodes
+                assert src != dst
+
+    def test_rule_driven_cases_stay_tiny(self):
+        for i in range(10):
+            case = generate_case("route_c_rules", 0, i)
+            assert case.build_topology().n_nodes <= 8
+            assert len(case.messages) <= 4
+
+    def test_ft_stream_mixes_faulty_and_clean(self):
+        cases = [generate_case("nafta", 0, i) for i in range(24)]
+        faulted = sum(c.has_faults() for c in cases)
+        assert 0 < faulted < len(cases)
+
+    def test_round_robin_covers_all_algorithms(self):
+        algos = ["xy", "nara", "route_c_nft"]
+        first = list(islice(generate_cases(algos, 0), 6))
+        assert [c.algorithm for c in first] == algos * 2
+
+    def test_mutation_is_recorded(self):
+        case = generate_case("route_c", 1, 0,
+                             mutation="route_c_skip_safe_check")
+        assert case.mutation == "route_c_skip_safe_check"

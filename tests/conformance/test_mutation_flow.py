@@ -1,0 +1,119 @@
+"""The acceptance loop: an injected bug is caught by an oracle, shrunk
+to a minimal case, serialized to the corpus, and replays
+deterministically.
+
+The ROUTE_C mutation removes the safe-node check (and the preference
+ranking that hides it), so worms transit strongly-unsafe nodes — the
+exact class of bug the ``route_c_safe_nodes`` oracle exists for.  The
+catching coordinates (seed=1, index=39) are pinned: generation is
+deterministic, so this is a regression test, not a fuzz run.
+"""
+
+import pytest
+
+from repro.conformance import (ConformanceCase, load_entry,
+                               run_case_payload, save_entry, shrink_case)
+from repro.conformance.generate import generate_case
+from repro.conformance.mutations import MUTATIONS, apply_mutation
+
+CATCH_SEED, CATCH_INDEX = 1, 39
+
+
+def _violations(case):
+    return run_case_payload(case.to_dict())["violations"]
+
+
+@pytest.fixture(scope="module")
+def caught():
+    case = generate_case("route_c", CATCH_SEED, CATCH_INDEX,
+                         mutation="route_c_skip_safe_check")
+    violations = _violations(case)
+    assert violations, "pinned catching case no longer fails"
+    return case, violations
+
+
+class TestMutationRegistry:
+    def test_known_mutations(self):
+        assert "route_c_skip_safe_check" in MUTATIONS
+        assert "xy_wrong_first_hop" in MUTATIONS
+
+    def test_unknown_mutation_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            with apply_mutation("no_such_mutation"):
+                pass
+
+    def test_none_is_a_no_op(self):
+        with apply_mutation(None):
+            pass
+
+
+class TestCatch:
+    def test_route_c_bug_caught_by_safe_node_oracle(self, caught):
+        _, violations = caught
+        assert any(v["oracle"] == "route_c_safe_nodes"
+                   for v in violations)
+
+    def test_pristine_twin_is_clean(self, caught):
+        case, _ = caught
+        pristine = ConformanceCase.from_dict(
+            {**case.to_dict(), "mutation": None})
+        assert _violations(pristine) == []
+
+    def test_xy_wrong_first_hop_caught_by_minimality(self):
+        case = generate_case("xy", seed=0, index=0,
+                             mutation="xy_wrong_first_hop")
+        violations = _violations(case)
+        assert any(v["oracle"] == "minimality" for v in violations)
+
+
+class TestShrink:
+    def test_shrunk_case_still_fails_and_is_smaller(self, caught):
+        case, _ = caught
+        small = shrink_case(case, max_evals=60)
+        assert any(v["oracle"] == "route_c_safe_nodes"
+                   for v in _violations(small))
+        assert len(small.messages) <= len(case.messages)
+        assert len(small.fault_links) <= len(case.fault_links)
+        assert small.build_topology().n_nodes \
+            <= case.build_topology().n_nodes
+
+    def test_clean_case_shrinks_to_itself(self):
+        case = generate_case("xy", seed=0, index=0)
+        stats = {}
+        assert shrink_case(case, max_evals=10, stats=stats) == case
+        assert stats["target"] == []
+        assert stats["evals"] == 1
+
+
+class TestCorpusReplay:
+    def test_save_load_replay_roundtrip(self, caught, tmp_path):
+        case, violations = caught
+        small = shrink_case(case, max_evals=60)
+        small_violations = _violations(small)
+        path = save_entry(small, small_violations, tmp_path,
+                          original=case)
+        assert path.parent == tmp_path
+        assert path.name.startswith("route_c_safe_nodes_")
+
+        loaded, expected = load_entry(path)
+        assert loaded == small
+        assert expected == small_violations
+
+        # replay determinism: two fresh runs, bit-identical evidence
+        a = run_case_payload(loaded.to_dict())
+        b = run_case_payload(loaded.to_dict())
+        assert a["digest"] == b["digest"]
+        assert a["violations"] == b["violations"] == expected
+
+    def test_committed_corpus_entries_replay(self):
+        # every entry committed under conformance/corpus/ must still
+        # reproduce its recorded violations on this checkout
+        from repro.conformance.corpus import default_corpus_dir
+
+        entries = sorted(default_corpus_dir().glob("*.json"))
+        assert entries, "committed corpus is empty"
+        for path in entries:
+            case, expected = load_entry(path)
+            got = _violations(case)
+            assert {v["oracle"] for v in got} \
+                == {v["oracle"] for v in expected}, path.name

@@ -1,0 +1,30 @@
+"""Shared test configuration: hypothesis profiles.
+
+CI runs must be deterministic — a property-based failure on a PR has
+to reproduce on the next push and on a maintainer's machine.  The
+``ci`` profile therefore derandomizes example generation and pins a
+generous fixed deadline (CI machines are noisy; per-test
+``@settings(deadline=None)`` overrides still win).  Locally the
+``dev`` profile keeps hypothesis' randomized search so new examples
+are still being explored where it matters: on developer machines and
+in the nightly fuzz lane.
+
+Select explicitly with ``HYPOTHESIS_PROFILE=ci|dev``; otherwise the
+``CI`` environment variable (set by GitHub Actions) picks ``ci``.
+"""
+
+import os
+from datetime import timedelta
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=timedelta(milliseconds=2000),
+    print_blob=True,
+)
+settings.register_profile("dev", settings.default)
+
+settings.load_profile(os.environ.get(
+    "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"))

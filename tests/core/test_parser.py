@@ -68,7 +68,7 @@ class TestDeclarations:
         assert isinstance(decl, N.InputDecl)
 
     def test_function_with_fcfb(self):
-        prog = parse('FUNCTION minimal(0 TO 15, 0 TO 15) IN SET OF 0 TO 3 '
+        prog = parse("FUNCTION minimal(0 TO 15, 0 TO 15) IN SET OF 0 TO 3 "
                      'FCFB "mesh distance computation"')
         decl = prog.decls[0]
         assert isinstance(decl, N.FunctionDecl)
