@@ -39,6 +39,7 @@ TRACKED = (
      "sim cycles/sec (low load)"),
     ("simulation_throughput_moderate_load.active_cycles_per_sec",
      "sim cycles/sec (moderate load)"),
+    ("batched_engine.cycles_per_sec", "batched engine cycles/sec"),
 )
 
 DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / \

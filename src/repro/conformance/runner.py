@@ -12,9 +12,10 @@ results travel back.
 from __future__ import annotations
 
 from ..routing.registry import ALGORITHM_META, AlgoMeta, make_algorithm
+from ..sim.batched import build_network
 from ..sim.config import SimConfig
 from ..sim.faults import FaultSchedule
-from ..sim.network import DeadlockError, Network
+from ..sim.network import DeadlockError
 from ..sim.stats import DecisionDigest
 from .case import ConformanceCase
 from .differential import ShadowDifferential
@@ -30,11 +31,13 @@ INTERP_VARIANTS = (
 )
 
 
-def _simulate(case: ConformanceCase, algorithm) -> dict:
+def _simulate(case: ConformanceCase, algorithm,
+              engine: str = "object") -> dict:
     """One simulation of ``case`` with a prebuilt algorithm instance."""
     topo = case.build_topology()
-    config = SimConfig(buffer_depth=case.buffer_depth, trace_paths=True)
-    net = Network(topo, algorithm, config, arbiter=case.arbiter)
+    config = SimConfig(buffer_depth=case.buffer_depth, trace_paths=True,
+                       engine=engine)
+    net = build_network(topo, algorithm, config, arbiter=case.arbiter)
     net.stats.digest = DecisionDigest()
     if case.has_faults():
         net.schedule_faults(FaultSchedule.static(
@@ -83,32 +86,36 @@ def _simulate(case: ConformanceCase, algorithm) -> dict:
     }
 
 
-def run_case(case: ConformanceCase, *,
-             shadow: bool = True, interp: bool = True) -> dict:
+def run_case(case: ConformanceCase, *, shadow: bool = True,
+             interp: bool = True, engine: str = "object") -> dict:
     """Run a case (with its recorded mutation, if any) and return the
     JSON-able evidence dict the oracles consume.
 
     ``shadow`` adds the ft/nft decision differential when the
     algorithm's metadata names an nft twin and the case is fault-free;
     ``interp`` re-runs rule-driven cases under every interpreter
-    variant and records their digests.
+    variant and records their digests.  ``engine`` selects the
+    simulation engine for every run (the batched engine must reproduce
+    the object engine's digests bit-for-bit, so running the corpus
+    with ``engine="batched"`` is itself a conformance check).
     """
     meta = ALGORITHM_META[case.algorithm]
     with apply_mutation(case.mutation):
         if shadow and meta.nft_equivalent and not case.has_faults():
             algo = ShadowDifferential(make_algorithm(case.algorithm),
                                       make_algorithm(meta.nft_equivalent))
-            result = _simulate(case, algo)
+            result = _simulate(case, algo, engine)
             result["shadow"] = {"against": meta.nft_equivalent,
                                 "mismatches": algo.mismatches}
         else:
-            result = _simulate(case, make_algorithm(case.algorithm))
+            result = _simulate(case, make_algorithm(case.algorithm),
+                               engine)
 
         if interp and meta.rule_driven:
             runs = {}
             for label, kwargs in INTERP_VARIANTS:
                 sub = _simulate(case, make_algorithm(case.algorithm,
-                                                     **kwargs))
+                                                     **kwargs), engine)
                 runs[label] = {"digest": sub["digest"],
                                "decisions": sub["decisions"],
                                "summary": sub["summary"]}
@@ -119,11 +126,18 @@ def run_case(case: ConformanceCase, *,
 def run_case_payload(payload: dict) -> dict:
     """Worker entry point for the sweep pool: case dict in, case key +
     evidence + violations out (everything JSON-able).  Top-level so it
-    pickles."""
+    pickles.
+
+    ``payload`` is a case dict plus an optional ``engine`` key — the
+    engine is a property of the *run*, not the scenario, so it is
+    stripped before the case is reconstructed (case keys and corpus
+    entries stay engine-independent)."""
     from .oracles import check_case  # local: avoid an import cycle
 
+    payload = dict(payload)
+    engine = payload.pop("engine", "object")
     case = ConformanceCase.from_dict(payload)
-    result = run_case(case)
+    result = run_case(case, engine=engine)
     violations = check_case(case, result)
     return {
         "case": payload,

@@ -51,7 +51,8 @@ def make_scenario(index: int, *, width: int = 8, height: int = 8,
                   retry_limit: int = 6, retry_backoff: int = 16,
                   hop_budget: int = 0, trace: bool = False,
                   trace_capacity: int = 65536,
-                  metrics_stride: int = 0) -> WorkloadSpec:
+                  metrics_stride: int = 0,
+                  engine: str = "object") -> WorkloadSpec:
     """One randomized mid-flight fault scenario as a WorkloadSpec.
 
     Faults keep the network connected (the campaign's acceptance
@@ -77,7 +78,8 @@ def make_scenario(index: int, *, width: int = 8, height: int = 8,
         diagnosis_hop_delay=diagnosis_hop_delay,
         retry_limit=retry_limit, retry_backoff=retry_backoff,
         hop_budget=hop_budget, drain=True, trace=trace,
-        trace_capacity=trace_capacity, metrics_stride=metrics_stride)
+        trace_capacity=trace_capacity, metrics_stride=metrics_stride,
+        engine=engine)
 
 
 def run_campaign(n_scenarios: int = 20, *, workers: int = 0,

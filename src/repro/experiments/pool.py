@@ -69,6 +69,19 @@ def default_cache_dir() -> Path:
     return results_dir() / "cache"
 
 
+def effective_workers(requested: int, n_payloads: int) -> int:
+    """The process count a ``workers=N`` request actually gets.
+
+    Never more workers than payloads, and never more than
+    ``os.cpu_count()``: on a 1-CPU machine a process pool cannot run
+    two workers concurrently, so fan-out only pays fork + pickle
+    overhead (measured as ``parallel_speedup`` 0.83 in
+    BENCH_engine.json).  Anything that clamps to <= 1 runs serially
+    in-process through the same worker entry point, which is
+    byte-identical by construction."""
+    return min(int(requested), n_payloads, os.cpu_count() or 1)
+
+
 def _run_spec_dict(payload: dict) -> dict:
     """Worker entry point: rebuild the spec (topology included) inside
     the worker process and run it.  Top-level so it pickles."""
@@ -134,8 +147,10 @@ def run_parallel(payloads, worker, *, workers: int = 0, progress=False,
 
     The generic core of :func:`run_sweep`, also used by the conformance
     harness: ``worker`` must be a top-level (picklable) callable taking
-    one payload.  ``workers=0`` (or 1) runs in-process through the same
-    entry point, so serial and parallel runs are identical by
+    one payload.  ``workers`` is clamped by :func:`effective_workers`
+    (never more processes than payloads or CPUs); ``workers=0`` (or 1,
+    or any request on a single-CPU machine) runs in-process through the
+    same entry point, so serial and parallel runs are identical by
     construction.  ``hits``/``total`` only pre-load the progress
     display for callers that satisfied some points elsewhere (e.g. from
     a cache).
@@ -145,7 +160,7 @@ def run_parallel(payloads, worker, *, workers: int = 0, progress=False,
     results: list = [None] * len(payloads)
     prog = _Progress(progress, label,
                      total if total is not None else len(payloads), hits)
-    n_workers = min(int(workers), len(payloads))
+    n_workers = effective_workers(workers, len(payloads))
     if n_workers > 1:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             futures = {pool.submit(worker, p): i
@@ -169,7 +184,9 @@ def run_sweep(specs, *, workers: int = 0, cache: bool = False,
     """Run a batch of workload specs, in submission order.
 
     ``workers=0`` (or 1) runs in-process; ``workers=N`` fans the
-    uncached points out over N worker processes.  ``cache=True`` reads
+    uncached points out over at most N worker processes (clamped by
+    :func:`effective_workers` to the point count and the machine's
+    CPUs — a 1-CPU machine always runs serially).  ``cache=True`` reads
     and writes the content-addressed result cache (``cache_dir``
     defaults to :func:`default_cache_dir`).  ``progress`` is ``False``,
     ``True`` (lines to stderr) or a callable sink.  ``stats``, if
@@ -207,6 +224,6 @@ def run_sweep(specs, *, workers: int = 0, cache: bool = False,
 
     if stats is not None:
         stats.update(total=len(specs), cache_hits=hits, simulated=len(todo),
-                     workers=min(int(workers), len(todo)),
+                     workers=effective_workers(workers, len(todo)),
                      wall_s=time.perf_counter() - t0)
     return results

@@ -22,6 +22,7 @@ import numpy as np
 from ..routing.registry import make_algorithm
 from ..sim import (FaultSchedule, Mesh2D, Network, SimConfig,
                    TrafficGenerator, Hypercube, random_link_faults)
+from ..sim.batched import build_network
 from ..sim.network import DeadlockError
 from ..sim.topology import Topology, topology_from_dict
 
@@ -64,6 +65,10 @@ class WorkloadSpec:
     trace: bool = False           # record a RingTracer event stream
     trace_capacity: int = 65536
     metrics_stride: int = 0       # 0 = no timeseries; N = sample every N
+    #: simulation engine: "object" (the oracle) or "batched" (the
+    #: struct-of-arrays engine; bit-identical summaries, falls back to
+    #: the object engine when tracing/metrics are requested)
+    engine: str = "object"
 
     # -- serialization (process boundary / cache identity) ------------
 
@@ -115,6 +120,10 @@ class WorkloadSpec:
             "trace": bool(self.trace),
             "trace_capacity": int(self.trace_capacity),
             "metrics_stride": int(self.metrics_stride),
+            # emitted only when non-default so every pre-existing
+            # cached spec_key stays valid (and "object" === absent)
+            **({"engine": self.engine} if self.engine != "object"
+               else {}),
         }
 
     @classmethod
@@ -148,6 +157,7 @@ class WorkloadSpec:
             trace=bool(d.get("trace", False)),
             trace_capacity=int(d.get("trace_capacity", 65536)),
             metrics_stride=int(d.get("metrics_stride", 0)),
+            engine=d.get("engine", "object"),
         )
 
     def spec_key(self, code_token: str | None = None) -> str:
@@ -180,7 +190,8 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
                     diagnosis_hop_delay=spec.diagnosis_hop_delay,
                     retry_limit=spec.retry_limit,
                     retry_backoff=spec.retry_backoff,
-                    hop_budget=spec.hop_budget)
+                    hop_budget=spec.hop_budget,
+                    engine=spec.engine)
     algo = make_algorithm(spec.algorithm)
     tracer = metrics = None
     if spec.trace:
@@ -189,8 +200,8 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
     if spec.metrics_stride:
         from ..obs import MetricsTimeseries
         metrics = MetricsTimeseries(stride=spec.metrics_stride)
-    net = Network(topology, algo, config=cfg, arbiter=spec.arbiter,
-                  tracer=tracer, metrics=metrics)
+    net = build_network(topology, algo, config=cfg, arbiter=spec.arbiter,
+                        tracer=tracer, metrics=metrics)
     if spec.fault_links or spec.fault_nodes or spec.timed_faults:
         schedule = FaultSchedule.static(links=spec.fault_links,
                                         nodes=spec.fault_nodes)
@@ -217,6 +228,7 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
     out["load"] = spec.load
     out["pattern"] = spec.pattern
     out["deadlocked"] = deadlocked
+    out["engine"] = net.engine_name
     out["undelivered"] = len(net.undelivered())
     out["n_faults"] = net.faults.n_faults()
     out.update(_logical_accounting(net))

@@ -28,6 +28,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.network import Network, Router
 
 
+#: refresh hints: what re-routing a *blocked* head would do while the
+#: route epoch and the header fields are unchanged.  REROUTE (the safe
+#: default) re-enters ``route``; RESORT promises the same candidate set
+#: re-sorted by (output_load, port, vc); STATIC promises the identical
+#: decision.  The object engine ignores the hint (it always re-routes);
+#: the batched engine uses it to refresh blocked worms in its arrays.
+REFRESH_REROUTE = 0
+REFRESH_RESORT = 1
+REFRESH_STATIC = 2
+
+
 @dataclass
 class RouteDecision:
     """Outcome of one routing decision."""
@@ -38,6 +49,7 @@ class RouteDecision:
     stuck: bool = False       # no legal output exists, now or ever
     #                           (a Condition-3 violation; the network
     #                           drops the message and counts it)
+    refresh_hint: int = REFRESH_REROUTE  # see the module constants
 
     @classmethod
     def delivery(cls, steps: int = 1) -> "RouteDecision":
@@ -71,6 +83,36 @@ class RoutingAlgorithm:
     #: are re-routed only when the fault knowledge changes (the
     #: network's ``route_epoch`` advances).
     adaptive: bool = True
+    #: header fields ``route`` may write (used by the batched engine's
+    #: decision cache to record and replay the side effects of a cached
+    #: decision; irrelevant unless ``route_cache_key`` is implemented)
+    cache_mutable_fields: tuple[str, ...] = ()
+    #: Native-cache descriptor for the batched engine (None = every
+    #: fresh decision enters Python).  A tuple of at most 5 header
+    #: field names covering BOTH every field ``route`` reads and every
+    #: field it writes — a superset of ``cache_mutable_fields``.
+    #: Declaring it asserts that, while the fault knowledge stands, the
+    #: decision (including its ``steps`` and field writes) is a pure
+    #: function of (node, dst, in_port, in_vc, these field values, and
+    #: whether ``path_len`` exceeds ``native_livelock_limit``) up to
+    #: the load re-ordering a ``REFRESH_RESORT`` hint declares, and
+    #: that ``on_depart`` does nothing beyond the base path-length bump
+    #: plus the optional ``native_term_rule``.  Values must be small
+    #: ints, bools or None.  REROUTE-hinted decisions are never cached,
+    #: so exceptional branches (unroutable, one-way switches) always
+    #: re-enter Python.
+    native_fields: "tuple[str, ...] | None" = None
+    #: optional ``(flag_field, vn_field, {vn: port})`` commit rule the
+    #: batched engine applies natively on head departure:
+    #: ``flag_field := True`` when the worm departs through the port
+    #: the map assigns to its current ``vn_field`` value (the terminal-
+    #: run commitment of the turn-model algorithms)
+    native_term_rule: "tuple[str, str, dict] | None" = None
+    #: set False when ``route`` provably never consults in_port / in_vc
+    #: (shrinks the native key space, so the cache converges faster);
+    #: leave True whenever in doubt — a finer key is always correct
+    native_key_uses_port: bool = True
+    native_key_uses_vc: bool = True
 
     # -- lifecycle -------------------------------------------------------
 
@@ -103,6 +145,27 @@ class RoutingAlgorithm:
     def route(self, router: "Router", header: Header,
               in_port: int, in_vc: int) -> RouteDecision:
         raise NotImplementedError
+
+    def route_cache_key(self, node: int, header: Header,
+                        in_port: int, in_vc: int) -> "tuple | None":
+        """Memoization key for ``route``, or None if uncacheable.
+
+        Two calls with equal keys must return the same decision (up to
+        the load re-ordering a ``REFRESH_RESORT`` hint declares) and
+        perform the same writes to the ``cache_mutable_fields`` of the
+        header — *while the network's fault knowledge stands*; the
+        batched engine drops its cache whenever ``route_epoch``
+        advances.  The key must therefore cover every dynamic input of
+        the decision except output loads: typically (node, dst,
+        in_port, and the header fields the algorithm branches on).
+        The object engine never consults this."""
+        return None
+
+    def native_livelock_limit(self, topology: Topology) -> "int | None":
+        """Path-length threshold the decision branches on (the livelock
+        guard feeding the ``over`` component of the native cache key);
+        None when the algorithm never consults the counter."""
+        return None
 
     def accepts(self, src: int, dst: int) -> bool:
         """May a message from src to dst enter the network?  Fault-

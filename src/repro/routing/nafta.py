@@ -32,7 +32,8 @@ from __future__ import annotations
 from ..sim.flit import Header
 from ..sim.topology import (EAST, NORTH, SOUTH, WEST, Mesh2D, Torus2D,
                             Topology)
-from .base import RouteDecision, RoutingAlgorithm, RoutingError
+from .base import (REFRESH_RESORT, REFRESH_STATIC, RouteDecision,
+                   RoutingAlgorithm, RoutingError)
 from .mesh_state import MeshFaultMap
 from .nara import VN_FREE, VN_TERMINAL
 
@@ -48,6 +49,14 @@ class NaftaRouting(RoutingAlgorithm):
     name = "nafta"
     n_vcs = 2
     fault_tolerant = True
+    cache_mutable_fields = ("vn", "term", "sdir", "misrouted")
+    # everything route() branches on beyond geometry/arrival port and
+    # the epoch-static fault knowledge: the four mutable fields plus the
+    # livelock-overflow flag (native_livelock_limit below); on_depart is
+    # exactly the base path-length bump plus the terminal-commit rule
+    native_fields = ("vn", "term", "sdir", "misrouted")
+    native_term_rule = ("term", "vn", VN_TERMINAL)
+    native_key_uses_vc = False         # in_vc is never consulted
 
     def __init__(self, livelock_factor: int = 4):
         self.livelock_factor = livelock_factor
@@ -77,6 +86,9 @@ class NaftaRouting(RoutingAlgorithm):
 
     def _livelock_limit(self, topo: Mesh2D) -> int:
         return self.livelock_factor * (topo.width + topo.height) + 16
+
+    def native_livelock_limit(self, topology) -> int:
+        return self._livelock_limit(topology)
 
     def _assign_vn(self, router, header: Header) -> int:
         topo: Mesh2D = router.topology
@@ -109,7 +121,8 @@ class NaftaRouting(RoutingAlgorithm):
     def route(self, router, header: Header, in_port: int,
               in_vc: int) -> RouteDecision:
         if router.node == header.dst:
-            return RouteDecision.delivery()
+            return RouteDecision(deliver=True, steps=1,
+                                 refresh_hint=REFRESH_STATIC)
         topo: Mesh2D = router.topology
         fmap = self.fault_map
         assert fmap is not None
@@ -133,7 +146,8 @@ class NaftaRouting(RoutingAlgorithm):
         # Committed terminal run: the turn model forbids leaving it.
         if header.fields.get("term"):
             if self._usable(router.node, term):
-                return RouteDecision(candidates=[(term, vn)], steps=1)
+                return RouteDecision(candidates=[(term, vn)], steps=1,
+                                     refresh_hint=REFRESH_STATIC)
             return RouteDecision.unroutable(steps=3)
 
         fault_free = fmap.faults.n_faults() == 0
@@ -161,8 +175,11 @@ class NaftaRouting(RoutingAlgorithm):
             restricted = len(candidates) < len(minimal)
             if restricted and not fault_free:
                 steps = 3 if term in minimal else 2
+            # the set is fixed by geometry + epoch-static fault knowledge
+            # while the head waits; only the load ordering is dynamic
             return RouteDecision(
-                candidates=self._order(candidates, router), steps=steps)
+                candidates=self._order(candidates, router), steps=steps,
+                refresh_hint=REFRESH_RESORT)
 
         # Exception path: no minimal output — detour within the free
         # move set (turn-model non-minimal routing, deadlock-free).
@@ -170,7 +187,10 @@ class NaftaRouting(RoutingAlgorithm):
         detour = self._detour_candidates(router, header, vn, free, term,
                                          in_port)
         if detour:
-            return RouteDecision(candidates=detour, steps=3)
+            # statically ranked (sticky sdir is its own first entry, so
+            # re-running reproduces the identical list)
+            return RouteDecision(candidates=detour, steps=3,
+                                 refresh_hint=REFRESH_STATIC)
 
         # Last escape: a south-last (VC1) message with no legal move
         # switches to the north-last network (VC0) once and for all.
@@ -201,6 +221,20 @@ class NaftaRouting(RoutingAlgorithm):
                 return RouteDecision(
                     candidates=self._order(switched, router), steps=3)
         return RouteDecision.unroutable(steps=3)
+
+    def route_cache_key(self, node, header, in_port, in_vc):
+        # Everything route() branches on besides the (epoch-static)
+        # fault knowledge: geometry, arrival port, the committed
+        # virtual network / terminal run, the sticky detour direction,
+        # and whether the livelock counter has overflowed.  in_vc is
+        # never consulted.  (The vn-switch branch returns a
+        # REFRESH_REROUTE decision, which the cache refuses to store.)
+        f = header.fields
+        topo = self.fault_map.topology if self.fault_map else None
+        over = (topo is not None
+                and header.path_len > self._livelock_limit(topo))
+        return (node, header.dst, in_port, f.get("vn"),
+                bool(f.get("term")), f.get("sdir"), over)
 
     def _detour_candidates(self, router, header: Header, vn: int,
                            free: tuple[int, ...], term: int,

@@ -28,7 +28,8 @@ from __future__ import annotations
 from ..sim.flit import Header
 from ..sim.topology import (EAST, NORTH, SOUTH, WEST, Mesh2D, Torus2D,
                             Topology)
-from .base import RouteDecision, RoutingAlgorithm, RoutingError
+from .base import (REFRESH_RESORT, REFRESH_STATIC, RouteDecision,
+                   RoutingAlgorithm, RoutingError)
 
 #: free move set and terminal direction of each virtual network
 VN_FREE = {0: (EAST, WEST, SOUTH), 1: (EAST, WEST, NORTH)}
@@ -47,6 +48,12 @@ class NaraRouting(RoutingAlgorithm):
     name = "nara"
     n_vcs = 2
     fault_tolerant = False
+    cache_mutable_fields = ("vn",)
+    # route() consults nothing but geometry and the vn field (in_port,
+    # in_vc, path_len are never read), so the native key is safely finer
+    native_fields = ("vn",)
+    native_key_uses_port = False
+    native_key_uses_vc = False
 
     def __init__(self):
         # unordered candidate sets are pure geometry (node, dst, vn) —
@@ -69,7 +76,8 @@ class NaraRouting(RoutingAlgorithm):
     def route(self, router, header: Header, in_port: int,
               in_vc: int) -> RouteDecision:
         if router.node == header.dst:
-            return RouteDecision.delivery()
+            return RouteDecision(deliver=True, steps=1,
+                                 refresh_hint=REFRESH_STATIC)
         vn = self._virtual_network(router, header)
         key = (router.node, header.dst, vn)
         candidates = self._cand_cache.get(key)
@@ -78,7 +86,10 @@ class NaraRouting(RoutingAlgorithm):
                                           header.dst, vn)
             self._cand_cache[key] = candidates
         candidates = self._order(candidates, router)
-        return RouteDecision(candidates=candidates, steps=1)
+        # the candidate set is pure geometry per (node, dst, vn); only
+        # the load ordering is dynamic, so refreshes are re-sorts
+        return RouteDecision(candidates=candidates, steps=1,
+                             refresh_hint=REFRESH_RESORT)
 
     @staticmethod
     def _candidates(topo: Mesh2D, node: int, dst: int,
@@ -95,6 +106,11 @@ class NaraRouting(RoutingAlgorithm):
             if x == dx:
                 candidates.append((term, vn))
         return candidates
+
+    def route_cache_key(self, node, header, in_port, in_vc):
+        # the decision depends only on geometry and the virtual network
+        # already assigned (in_port/in_vc are never consulted)
+        return (node, header.dst, header.fields.get("vn"))
 
     @staticmethod
     def _order(candidates, router):

@@ -48,6 +48,11 @@ class SimConfig:
     #                                 (and sources with pending worms);
     #                                 cycle-accurate either way — the
     #                                 False setting exists for A/B tests
+    engine: str = "object"         # "object": per-flit Python objects
+    #                                (the bit-exact oracle); "batched":
+    #                                the struct-of-arrays engine of
+    #                                repro.sim.batched — same results,
+    #                                selected via build_network()
 
     def __post_init__(self):
         if self.buffer_depth < 1:
@@ -74,6 +79,9 @@ class SimConfig:
             raise ValueError("retry_backoff must be >= 1 cycle")
         if self.hop_budget < 0:
             raise ValueError("hop_budget must be >= 0")
+        if self.engine not in ("object", "batched"):
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"choose 'object' or 'batched'")
         if self.retry_limit and self.retransmit_dropped:
             raise ValueError("retry_limit and the legacy "
                              "retransmit_dropped are mutually exclusive; "

@@ -89,6 +89,11 @@ class _SourceState:
 
 
 class Network:
+    #: which engine implements the data path ("object" here; the
+    #: batched subclass overrides it) — lets runners and reports record
+    #: what actually ran after build_network()'s fallback rules
+    engine_name = "object"
+
     def __init__(self, topology: Topology, algorithm: "RoutingAlgorithm",
                  config: SimConfig | None = None,
                  arbiter: str | Arbiter = "round_robin",
@@ -142,9 +147,8 @@ class Network:
         # advances whenever the routing algorithm's fault knowledge is
         # recomputed; non-adaptive blocked heads re-route only then
         self.route_epoch = 0
-        self.routers = [Router(self, n) for n in topology.nodes()]
-        for r in self.routers:
-            r.finalize()
+        self.routers: list[Router] = []
+        self._make_routers()
         # nodes whose router may hold flits / whose source may inject —
         # the active sets the per-cycle phases iterate (stale entries
         # are pruned lazily; see _live_routers)
@@ -165,6 +169,14 @@ class Network:
         self.arbiter = (arbiter if isinstance(arbiter, Arbiter)
                         else make_arbiter(arbiter))
         algorithm.reset(self)
+
+    def _make_routers(self) -> None:
+        """Build the per-node router state into ``self.routers``.  The
+        batched engine (:mod:`repro.sim.batched`) overrides this to
+        construct its struct-of-arrays state plus router facades."""
+        self.routers = [Router(self, n) for n in self.topology.nodes()]
+        for r in self.routers:
+            r.finalize()
 
     # -- configuration ------------------------------------------------------
 
@@ -339,16 +351,7 @@ class Network:
                 self.algorithm.on_fault_update(self, nodes=reached)
         if self._pending_retries:
             self._release_due_retries()
-        routers = self._live_routers()
-        for r in routers:
-            r.flush_incoming()
-        self._inject_phase()
-        if self.traffic is not None and not self._injection_paused:
-            for src, dst, length in self.traffic.tick(self.cycle):
-                self.offer(src, dst, length)
-        for r in routers:
-            r.route_stage(self.cycle)
-        moved = self._allocate_and_transfer(routers)
+        moved = self._advance(with_traffic=True)
         if moved:
             self._last_progress = self.cycle
         elif self._flits_in_flight() and (
@@ -367,6 +370,24 @@ class Network:
         if metrics is not None and self.cycle % metrics.stride == 0:
             metrics.sample(self)
         self.cycle += 1
+
+    def _advance(self, with_traffic: bool) -> int:
+        """One pass through the data-path phases: flush, inject, offer
+        traffic, route stage, allocation/transfer.  Returns the number
+        of flits moved.  The batched engine overrides this with its
+        array kernels; everything around it (fault machinery, watchdog,
+        drain loops) is engine-agnostic."""
+        routers = self._live_routers()
+        for r in routers:
+            r.flush_incoming()
+        self._inject_phase()
+        if with_traffic and self.traffic is not None \
+                and not self._injection_paused:
+            for src, dst, length in self.traffic.tick(self.cycle):
+                self.offer(src, dst, length)
+        for r in routers:
+            r.route_stage(self.cycle)
+        return self._allocate_and_transfer(routers)
 
     def _stall_excused(self) -> bool:
         """Worms legitimately park while a fault detection or a
@@ -539,13 +560,7 @@ class Network:
         tr = self.tracer
         if tr.enabled:
             tr.now = self.cycle
-        routers = self._live_routers()
-        for r in routers:
-            r.flush_incoming()
-        self._inject_phase()  # half-injected worms finish entering
-        for r in routers:
-            r.route_stage(self.cycle)
-        self._allocate_and_transfer(routers)
+        self._advance(with_traffic=False)  # half-injected worms finish
         metrics = self.metrics
         if metrics is not None and self.cycle % metrics.stride == 0:
             metrics.sample(self)

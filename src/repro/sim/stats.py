@@ -39,6 +39,13 @@ class DecisionDigest:
         self._hash.update(("|".join(parts) + "\n").encode())
         self.count += 1
 
+    def update_raw(self, data: bytes, lines: int) -> None:
+        """Fold in pre-formatted decision lines (the batched engine's
+        C-side formatter emits byte-identical lines in decision order
+        and flushes them here once per cycle)."""
+        self._hash.update(data)
+        self.count += lines
+
     def hexdigest(self) -> str:
         return self._hash.hexdigest()
 

@@ -29,6 +29,15 @@ def uniform_pattern(topology: Topology, rng: np.random.Generator) -> PatternFn:
         d = int(rng.integers(0, n - 1))
         return d if d < src else d + 1  # uniform over others
 
+    def dest_batch(srcs: list[int]) -> list[int]:
+        # numpy's bounded-integer generation is element-sequential, so
+        # one sized draw consumes the bit stream exactly like len(srcs)
+        # scalar calls — the RNG stream (and every pinned digest) is
+        # unchanged; the per-call Generator overhead is paid once
+        ds = rng.integers(0, n - 1, size=len(srcs)).tolist()
+        return [d if d < s else d + 1 for d, s in zip(ds, srcs)]
+
+    dest.batch = dest_batch
     return dest
 
 
@@ -180,14 +189,21 @@ class TrafficGenerator:
 
     def tick(self, cycle: int) -> list[tuple[int, int, int]]:
         """(src, dst, length) triples to inject this cycle."""
-        out = []
         # one bulk draw per cycle regardless of hits keeps the RNG
         # stream (and thus every experiment) identical to the naive
         # per-node loop while skipping the non-injecting nodes
         draws = self.rng.random(self.topology.n_nodes)
-        for src in np.flatnonzero(draws < self._p):
-            src = int(src)
+        srcs = (draws < self._p).nonzero()[0].tolist()
+        if not srcs:
+            return []
+        length = self.message_length
+        batch = getattr(self._dest, "batch", None)
+        if batch is not None:
+            return [(src, dst, length)
+                    for src, dst in zip(srcs, batch(srcs)) if dst != src]
+        out = []
+        for src in srcs:
             dst = self._dest(src)
             if dst != src:
-                out.append((src, dst, self.message_length))
+                out.append((src, dst, length))
         return out

@@ -63,6 +63,7 @@ def cmd_run(args) -> int:
     stream = generate_cases(algorithms, args.seed, mutation=args.mutate)
     if args.cases:
         stream = itertools.islice(stream, args.cases)
+    engine = getattr(args, "engine", "object")
 
     deadline = (time.monotonic() + args.budget) if args.budget else None
     reports: list[dict] = []
@@ -75,6 +76,11 @@ def cmd_run(args) -> int:
         if not chunk:
             break
         payloads = [c.to_dict() for c in chunk]
+        if engine != "object":
+            # the engine is a run property, not part of the scenario —
+            # run_case_payload strips it before rebuilding the case
+            for p in payloads:
+                p["engine"] = engine
         reports.extend(run_parallel(payloads, run_case_payload,
                                     workers=args.workers,
                                     progress=args.progress,
@@ -93,7 +99,8 @@ def cmd_run(args) -> int:
           f"{sum(len(r['violations']) for r in reports)} violations "
           f"in {len(failures)} failing cases "
           f"(seed {args.seed}"
-          + (f", mutation {args.mutate}" if args.mutate else "") + ")")
+          + (f", mutation {args.mutate}" if args.mutate else "")
+          + (f", engine {engine}" if engine != "object" else "") + ")")
     for name in sorted(per_algo):
         print(f"  {name}: {per_algo[name]} cases")
 
@@ -186,6 +193,12 @@ def main(argv=None) -> int:
     p_run.add_argument("--corpus-dir",
                        help="where failing entries go "
                             "(default conformance/corpus/)")
+    p_run.add_argument("--engine", default="object",
+                       choices=["object", "batched"],
+                       help="simulation engine to run cases under; "
+                            "batched must match the object oracle "
+                            "bit-for-bit, so this doubles as an "
+                            "engine-parity check")
     p_run.add_argument("--mutate", metavar="NAME",
                        help="apply a registered test-only mutation "
                             f"({', '.join(sorted(MUTATIONS))})")

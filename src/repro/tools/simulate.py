@@ -69,6 +69,12 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--arbiter", default="round_robin",
                     choices=["round_robin", "misrouted_first",
                              "oldest_first"])
+    ap.add_argument("--engine", default="object",
+                    choices=["object", "batched"],
+                    help="simulation engine: the per-flit object "
+                         "oracle or the bit-identical struct-of-"
+                         "arrays engine (falls back to object when "
+                         "unavailable)")
     ap.add_argument("--sweep-seeds", type=int, default=1, metavar="N",
                     help="replay the scenario under N consecutive "
                          "traffic seeds via the sweep engine")
@@ -90,7 +96,8 @@ def main(argv: list[str] | None = None) -> int:
         load=args.load, message_length=args.message_length,
         cycles=args.cycles, warmup=args.warmup, seed=args.seed,
         cycles_per_step=args.cycles_per_step, fault_links=fault_links,
-        fault_nodes=fault_nodes, arbiter=args.arbiter)
+        fault_nodes=fault_nodes, arbiter=args.arbiter,
+        engine=args.engine)
 
     banner = (f"{args.topology} / {args.algorithm} / {args.pattern} "
               f"@ {args.load} flits/node/cycle, {spec.cycles} cycles"
@@ -130,7 +137,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"simulate: {exc}", file=sys.stderr)
         return 1
 
-    print(banner)
+    print(banner + (f" [engine: {res['engine']}]"
+                    if args.engine != "object" else ""))
     for key in ("messages_delivered", "messages_measured", "mean_latency",
                 "p99_latency", "mean_hops", "throughput_flits_node_cycle",
                 "misrouted_fraction", "mean_decision_steps",

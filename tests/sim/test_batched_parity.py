@@ -1,0 +1,168 @@
+"""Batched-vs-object engine parity: the struct-of-arrays engine must be
+an invisible optimization.
+
+Every algorithm in the registry runs the same workload on both engines
+— small meshes, tori, hypercubes and k-ary n-cubes, fault-free and with
+static and timed (mid-run) fault schedules in both fault modes — and
+the complete ``SimStats.summary`` must match bit-for-bit, per-decision
+SHA-256 digest included.  A digest mismatch localizes to the first
+differing routing decision; a summary mismatch to the first differing
+counter.
+
+The conformance hook rides along: ``run_case_payload`` with an
+``engine: batched`` key (what ``conform run --engine batched`` sends)
+must reproduce the object engine's digests on generated cases.
+"""
+
+import itertools
+
+import pytest
+
+from repro.conformance.generate import generate_cases
+from repro.conformance.runner import run_case_payload
+from repro.routing.registry import ALGORITHM_META, make_algorithm
+from repro.sim.batched import (BatchedNetwork, batched_fallback_reason,
+                               build_network)
+from repro.sim.config import SimConfig
+from repro.sim.faults import FaultSchedule
+from repro.sim.network import Network
+from repro.sim.stats import DecisionDigest
+from repro.sim.topology import Hypercube, KAryNCube, Mesh2D, Torus2D
+from repro.sim.traffic import TrafficGenerator
+
+pytestmark = pytest.mark.skipif(
+    batched_fallback_reason() is not None,
+    reason=f"batched engine unavailable: {batched_fallback_reason()}")
+
+#: one small topology per kind the registry metadata names
+TOPOLOGIES = {
+    "mesh2d": lambda: Mesh2D(5, 4),
+    "torus2d": lambda: Torus2D(4, 4),
+    "hypercube": lambda: Hypercube(3),
+    "karyncube": lambda: KAryNCube(3, 2),
+}
+
+
+def _fault_plan(topo, meta):
+    """Deterministic links/nodes within the algorithm's declared fault
+    budget (an empty plan means fault-free cases only)."""
+    links = sorted(topo.links())
+    picked_links = []
+    for i in range(meta.max_link_faults):
+        picked_links.append(links[(i + 1) * len(links) // 4])
+    picked_nodes = []
+    for i in range(meta.max_node_faults):
+        picked_nodes.append((i + 1) * topo.n_nodes // 3)
+    return picked_links, picked_nodes
+
+
+def _scenarios(algo):
+    """(scenario-id, schedule builder, config kwargs) per algorithm."""
+    meta = ALGORITHM_META[algo]
+    out = [("clean", None, {})]
+    if not (meta.max_link_faults or meta.max_node_faults):
+        return out
+    out.append(("static", "static", {}))
+    out.append(("timed-quiesce", "timed", {"fault_mode": "quiesce"}))
+    out.append(("timed-harsh", "timed", {"fault_mode": "harsh",
+                                         "retry_limit": 2,
+                                         "retry_backoff": 8}))
+    if algo == "nafta":
+        # delayed detection + hop-by-hop diagnosis flood, the richest
+        # fault-knowledge path the reliability layer has
+        out.append(("timed-diagnosis", "timed",
+                    {"fault_mode": "harsh", "detection_delay": 5,
+                     "diagnosis_hop_delay": 1, "retry_limit": 2,
+                     "retry_backoff": 8}))
+    return out
+
+
+def _run(engine_cls, algo, topo_kind, schedule_kind, cfg_kwargs):
+    rule_driven = ALGORITHM_META[algo].rule_driven
+    cycles = 120 if rule_driven else 260
+    topo = TOPOLOGIES[topo_kind]()
+    net = engine_cls(topo, make_algorithm(algo),
+                     config=SimConfig(**cfg_kwargs))
+    net.stats.digest = DecisionDigest()
+    if schedule_kind is not None:
+        links, nodes = _fault_plan(topo, ALGORITHM_META[algo])
+        if schedule_kind == "static":
+            sched = FaultSchedule.static(links=links, nodes=nodes)
+        else:
+            sched = FaultSchedule()
+            for i, (a, b) in enumerate(links):
+                sched.add_link_fault(50 + 25 * i, a, b)
+            for i, n in enumerate(nodes):
+                sched.add_node_fault(80 + 25 * i, n)
+        net.schedule_faults(sched)
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.15,
+                                        message_length=4, seed=7))
+    net.run(cycles)
+    return net.stats.summary(topo.n_nodes)
+
+
+def _parity_params():
+    for algo, meta in sorted(ALGORITHM_META.items()):
+        for topo_kind in meta.topologies:
+            for scenario, schedule_kind, cfg in _scenarios(algo):
+                yield pytest.param(algo, topo_kind, schedule_kind, cfg,
+                                   id=f"{algo}-{topo_kind}-{scenario}")
+
+
+@pytest.mark.parametrize("algo,topo_kind,schedule_kind,cfg",
+                         list(_parity_params()))
+def test_summary_and_digest_parity(algo, topo_kind, schedule_kind, cfg):
+    obj = _run(Network, algo, topo_kind, schedule_kind, cfg)
+    bat = _run(BatchedNetwork, algo, topo_kind, schedule_kind, cfg)
+    assert obj["decision_digest_count"] > 0
+    diffs = {k: (obj.get(k), bat.get(k))
+             for k in sorted(set(obj) | set(bat))
+             if obj.get(k) != bat.get(k)}
+    assert not diffs, f"engine divergence on {algo}: {diffs}"
+
+
+def test_build_network_selects_and_falls_back():
+    topo = Mesh2D(4, 4)
+    cfg = SimConfig(engine="batched")
+    net = build_network(topo, make_algorithm("xy"), cfg)
+    assert isinstance(net, BatchedNetwork)
+    assert net.engine_name == "batched"
+    # a tracer forces the documented fallback to the object oracle
+    class _Tracer:
+        enabled = True
+    fell_back = build_network(topo, make_algorithm("xy"), cfg,
+                              tracer=_Tracer())
+    assert type(fell_back) is Network
+    assert fell_back.engine_name == "object"
+
+
+# ---------------------------------------------------------------------------
+# the conformance hook: `conform run --engine batched`
+# ---------------------------------------------------------------------------
+
+def test_conform_payload_engine_parity():
+    """The payload-level hook the conform CLI uses: same case, both
+    engines, identical digests and case keys — and the engine key must
+    not leak into the scenario identity."""
+    cases = itertools.islice(
+        generate_cases(["nafta", "route_c", "xy"], 5), 6)
+    checked = 0
+    for case in cases:
+        obj = run_case_payload(case.to_dict())
+        bat = run_case_payload({**case.to_dict(), "engine": "batched"})
+        assert bat["digest"] == obj["digest"]
+        assert bat["decisions"] == obj["decisions"]
+        assert bat["case_key"] == obj["case_key"]
+        assert "engine" not in bat["case"]
+        assert bat["violations"] == obj["violations"] == []
+        checked += 1
+    assert checked == 6
+
+
+def test_conform_cli_engine_flag(capsys):
+    from repro.tools.conform import main as conform_main
+    rc = conform_main(["run", "--cases", "4", "--seed", "1",
+                       "--engine", "batched", "--no-shrink"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "engine batched" in out

@@ -122,6 +122,72 @@ class TestSweepDeterminism:
         assert stats["cache_hits"] == 0 and stats["simulated"] == 1
 
 
+class TestWorkerClamping:
+    """``workers=N`` never over-subscribes the machine: requests clamp
+    to ``os.cpu_count()`` (and the payload count), and anything that
+    clamps to <= 1 runs serially in-process instead of paying
+    process-pool overhead."""
+
+    def specs(self):
+        return [small_spec(load=load) for load in (0.05, 0.12)]
+
+    def test_effective_workers_clamps(self, monkeypatch):
+        import os
+
+        from repro.experiments.pool import effective_workers
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        assert effective_workers(8, 100) == 2      # CPU-bound
+        assert effective_workers(2, 1) == 1        # payload-bound
+        assert effective_workers(0, 100) == 0      # explicit serial
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert effective_workers(8, 100) == 1      # unknown CPUs: serial
+
+    def test_single_cpu_falls_back_to_serial(self, monkeypatch, tmp_path):
+        """On a 1-CPU machine even ``workers=4`` must not build a
+        process pool — and the cache semantics stay identical."""
+        import os
+
+        from repro.experiments import pool as pool_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+
+        def boom(*a, **kw):  # pragma: no cover - fires only on a bug
+            raise AssertionError("process pool built on a 1-CPU machine")
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", boom)
+        stats: dict = {}
+        cold = run_sweep(self.specs(), workers=4, cache=True,
+                         cache_dir=tmp_path, stats=stats)
+        assert stats["workers"] == 1 and stats["simulated"] == 2
+        warm_stats: dict = {}
+        warm = run_sweep(self.specs(), workers=4, cache=True,
+                         cache_dir=tmp_path, stats=warm_stats)
+        assert warm_stats["cache_hits"] == 2
+        assert json.dumps(cold, sort_keys=True) == \
+            json.dumps(warm, sort_keys=True)
+
+    def test_pool_path_when_cpus_allow(self, monkeypatch, tmp_path):
+        """With enough CPUs the pool path runs and its results (and
+        cache files) are byte-identical to the serial path."""
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        stats: dict = {}
+        parallel = run_sweep(self.specs(), workers=2, cache=True,
+                             cache_dir=tmp_path, stats=stats)
+        assert stats["workers"] == 2
+        serial = run_sweep(self.specs(), workers=0, cache=False)
+        assert json.dumps(parallel, sort_keys=True) == \
+            json.dumps(serial, sort_keys=True)
+        # the pool-written cache replays into the serial path
+        warm_stats: dict = {}
+        warm = run_sweep(self.specs(), workers=0, cache=True,
+                         cache_dir=tmp_path, stats=warm_stats)
+        assert warm_stats["cache_hits"] == 2
+        assert json.dumps(warm, sort_keys=True) == \
+            json.dumps(serial, sort_keys=True)
+
+
 class TestMessageIdIsolation:
     def test_concurrent_networks_do_not_share_ids(self):
         """Two in-process networks must each number messages from 0 —

@@ -99,7 +99,8 @@ def cmd_run(args) -> int:
         fault_mode=args.fault_mode, detection_delay=args.detection_delay,
         diagnosis_hop_delay=args.diagnosis_hop_delay,
         retry_limit=args.retry_limit, retry_backoff=args.retry_backoff,
-        hop_budget=args.hop_budget, **_obs_fields(args))
+        hop_budget=args.hop_budget, engine=args.engine,
+        **_obs_fields(args))
     result = run_workload(spec)
     trace = result.pop("trace", None)
     metrics = result.pop("metrics", None)
@@ -117,7 +118,7 @@ def cmd_trace(args) -> int:
         fault_mode=args.fault_mode, detection_delay=args.detection_delay,
         diagnosis_hop_delay=args.diagnosis_hop_delay,
         retry_limit=args.retry_limit, retry_backoff=args.retry_backoff,
-        hop_budget=args.hop_budget,
+        hop_budget=args.hop_budget, engine=args.engine,
         timed_faults=[_parse_fault(f) for f in args.fault],
         trace=True, trace_capacity=args.trace_capacity,
         metrics_stride=args.metrics_stride)
@@ -148,7 +149,7 @@ def cmd_campaign(args) -> int:
         detection_delay=args.detection_delay,
         diagnosis_hop_delay=args.diagnosis_hop_delay,
         retry_limit=args.retry_limit, retry_backoff=args.retry_backoff,
-        hop_budget=args.hop_budget, **obs)
+        hop_budget=args.hop_budget, engine=args.engine, **obs)
     # traces/metrics are pulled out of the report (they would dwarf the
     # reliability numbers in --json); the Chrome export is scenario 0 —
     # one run per trace document, as the trace_event format expects
@@ -200,6 +201,12 @@ def _common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--retry-limit", type=int, default=6)
     p.add_argument("--retry-backoff", type=int, default=16)
     p.add_argument("--hop-budget", type=int, default=0)
+    p.add_argument("--engine", choices=["object", "batched"],
+                   default="object",
+                   help="simulation engine: the per-flit object oracle "
+                        "or the batched struct-of-arrays engine "
+                        "(bit-identical results; falls back to object "
+                        "when tracing/metrics are attached)")
 
 
 def _obs_args(p: argparse.ArgumentParser) -> None:
