@@ -162,17 +162,17 @@ def bench_sim(cycles: int, rounds: int, load: float) -> dict:
 # batched struct-of-arrays engine vs the per-flit object oracle
 # ---------------------------------------------------------------------------
 
-def time_engine(engine: str, width: int, height: int, warmup_cycles: int,
-                cycles: int, load: float, seed: int = 11):
-    """Steady-state cycles/sec of one engine on a width x height mesh.
+def time_engine(engine: str, topo, warmup_cycles: int,
+                cycles: int, load: float, seed: int = 11,
+                algo: str = "nafta"):
+    """Steady-state cycles/sec of one engine on ``topo``.
 
     The warm-up run is excluded from the timed region: it pays the
-    batched engine's one-off costs (C kernel build/load, decision-cache
-    fill, array growth) and lets both engines reach a steady traffic
+    batched engine's one-off costs (C kernel build/load, clean-table
+    probe, array growth) and lets both engines reach a steady traffic
     population, so the recorded rate is the sustained one rather than a
     cold-start average."""
-    topo = Mesh2D(width, height)
-    net = build_network(topo, make_algorithm("nafta"),
+    net = build_network(topo, make_algorithm(algo),
                         SimConfig(engine=engine))
     net.attach_traffic(TrafficGenerator(topo, "uniform", load=load,
                                         message_length=6, seed=seed))
@@ -247,21 +247,70 @@ def bench_batched_engine(quick: bool) -> dict:
 def bench_large_mesh(quick: bool) -> dict:
     """The ROADMAP-scale fabrics the object engine cannot sweep in
     reasonable wall-clock: 32x32 and (full mode) 64x64, one row per
-    (mesh, engine)."""
+    (mesh, engine).
+
+    Both engines run the identical workload, so their end-of-run
+    summaries must match bit-for-bit (``results_identical``); the
+    per-mesh speedups are also flattened to ``speedup_WxH`` keys so the
+    regression gate (benchmarks/check_regression.py) can track them
+    directly."""
     meshes = [(32, 32)] if quick else [(32, 32), (64, 64)]
     warmup, cycles = (60, 120) if quick else (150, 300)
     load = 0.2
     rows = []
+    out = {"load": load, "warmup_cycles_excluded": warmup}
+    identical = True
     for w, h in meshes:
         pair = {}
+        summaries = {}
         for engine in ("object", "batched"):
-            rate, ran, _ = time_engine(engine, w, h, warmup, cycles, load)
+            rate, ran, summary = time_engine(engine, Mesh2D(w, h),
+                                             warmup, cycles, load)
             pair[engine] = rate
+            summaries[engine] = summary
             rows.append({"mesh": f"{w}x{h}", "engine": engine,
                          "load": load, "cycles": cycles,
                          "cycles_per_sec": rate, "ran_as": ran})
-        rows[-1]["speedup_vs_object"] = pair["batched"] / pair["object"]
-    return {"load": load, "warmup_cycles_excluded": warmup, "rows": rows}
+        speedup = pair["batched"] / pair["object"]
+        rows[-1]["speedup_vs_object"] = speedup
+        out[f"speedup_{w}x{h}"] = speedup
+        identical &= summaries["object"] == summaries["batched"]
+    out["results_identical"] = identical
+    out["rows"] = rows
+    return out
+
+
+def bench_hypercube(quick: bool) -> dict:
+    """A high-dimensional fabric (paper Section 2: the approach covers
+    'all topologies that can be represented by a graph'): e-cube on a
+    hypercube — 10 dimensions (1024 nodes) in full mode."""
+    from repro.sim.topology import Hypercube
+    dims = 7 if quick else 10
+    warmup, cycles = (60, 120) if quick else (150, 300)
+    load = 0.2
+    pair = {}
+    summaries = {}
+    rows = []
+    for engine in ("object", "batched"):
+        rate, ran, summary = time_engine(engine, Hypercube(dims),
+                                         warmup, cycles, load,
+                                         algo="ecube")
+        pair[engine] = rate
+        summaries[engine] = summary
+        rows.append({"topology": f"hypercube-{dims}", "engine": engine,
+                     "load": load, "cycles": cycles,
+                     "cycles_per_sec": rate, "ran_as": ran})
+    return {
+        "dimensions": dims,
+        "n_nodes": 2 ** dims,
+        "load": load,
+        "warmup_cycles_excluded": warmup,
+        "cycles_per_sec": pair["batched"],
+        "object_cycles_per_sec": pair["object"],
+        "speedup": pair["batched"] / pair["object"],
+        "results_identical": summaries["object"] == summaries["batched"],
+        "rows": rows,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -383,6 +432,7 @@ def run(quick: bool = False, workers: int = 0, cache: bool = True) -> dict:
         "simulation_throughput_moderate_load": sim_mod,
         "batched_engine": bench_batched_engine(quick),
         "large_mesh": bench_large_mesh(quick),
+        "hypercube": bench_hypercube(quick),
         "parallel_sweep": bench_parallel_sweep(workers or 4, quick,
                                                cache=cache),
     }

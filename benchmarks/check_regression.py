@@ -40,6 +40,13 @@ TRACKED = (
     ("simulation_throughput_moderate_load.active_cycles_per_sec",
      "sim cycles/sec (moderate load)"),
     ("batched_engine.cycles_per_sec", "batched engine cycles/sec"),
+    # large-mesh speedups are ratios, not rates, but regress the same
+    # way: a drop means the batched data path lost ground to the object
+    # oracle on the fabrics it exists for (64x64 only appears in full
+    # reports, so quick runs skip it)
+    ("large_mesh.speedup_32x32", "large-mesh 32x32 speedup"),
+    ("large_mesh.speedup_64x64", "large-mesh 64x64 speedup"),
+    ("hypercube.cycles_per_sec", "hypercube batched cycles/sec"),
 )
 
 DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / \

@@ -32,12 +32,17 @@ INTERP_VARIANTS = (
 
 
 def _simulate(case: ConformanceCase, algorithm,
-              engine: str = "object") -> dict:
+              engine: str = "object", metrics_stride: int = 0) -> dict:
     """One simulation of ``case`` with a prebuilt algorithm instance."""
     topo = case.build_topology()
     config = SimConfig(buffer_depth=case.buffer_depth, trace_paths=True,
                        engine=engine)
-    net = build_network(topo, algorithm, config, arbiter=case.arbiter)
+    metrics = None
+    if metrics_stride:
+        from ..obs import MetricsTimeseries
+        metrics = MetricsTimeseries(stride=metrics_stride)
+    net = build_network(topo, algorithm, config, arbiter=case.arbiter,
+                        metrics=metrics)
     net.stats.digest = DecisionDigest()
     if case.has_faults():
         net.schedule_faults(FaultSchedule.static(
@@ -77,17 +82,24 @@ def _simulate(case: ConformanceCase, algorithm,
         rec["hops"] = msg.hops
         rec["trace"] = list(msg.header.fields.get("trace", []))
 
-    return {
+    out = {
         "summary": net.stats.summary(topo.n_nodes),
         "digest": net.stats.digest.hexdigest(),
         "decisions": net.stats.digest.count,
         "deadlock": deadlock,
         "messages": offered,
     }
+    if metrics is not None:
+        # sampling must be an invisible observer: record that it ran
+        # (and on which engine) without perturbing digests/summaries
+        out["metrics"] = {"rows": metrics.n_samples(),
+                          "engine": net.engine_name}
+    return out
 
 
 def run_case(case: ConformanceCase, *, shadow: bool = True,
-             interp: bool = True, engine: str = "object") -> dict:
+             interp: bool = True, engine: str = "object",
+             metrics_stride: int = 0) -> dict:
     """Run a case (with its recorded mutation, if any) and return the
     JSON-able evidence dict the oracles consume.
 
@@ -98,18 +110,21 @@ def run_case(case: ConformanceCase, *, shadow: bool = True,
     simulation engine for every run (the batched engine must reproduce
     the object engine's digests bit-for-bit, so running the corpus
     with ``engine="batched"`` is itself a conformance check).
+    ``metrics_stride`` > 0 attaches a metrics timeseries to the primary
+    run — sampling must never perturb a digest, so running the corpus
+    with metrics on is a conformance check of the observer itself.
     """
     meta = ALGORITHM_META[case.algorithm]
     with apply_mutation(case.mutation):
         if shadow and meta.nft_equivalent and not case.has_faults():
             algo = ShadowDifferential(make_algorithm(case.algorithm),
                                       make_algorithm(meta.nft_equivalent))
-            result = _simulate(case, algo, engine)
+            result = _simulate(case, algo, engine, metrics_stride)
             result["shadow"] = {"against": meta.nft_equivalent,
                                 "mismatches": algo.mismatches}
         else:
             result = _simulate(case, make_algorithm(case.algorithm),
-                               engine)
+                               engine, metrics_stride)
 
         if interp and meta.rule_driven:
             runs = {}
@@ -128,16 +143,17 @@ def run_case_payload(payload: dict) -> dict:
     evidence + violations out (everything JSON-able).  Top-level so it
     pickles.
 
-    ``payload`` is a case dict plus an optional ``engine`` key — the
-    engine is a property of the *run*, not the scenario, so it is
-    stripped before the case is reconstructed (case keys and corpus
-    entries stay engine-independent)."""
+    ``payload`` is a case dict plus optional ``engine`` /
+    ``metrics_stride`` keys — both are properties of the *run*, not the
+    scenario, so they are stripped before the case is reconstructed
+    (case keys and corpus entries stay engine-independent)."""
     from .oracles import check_case  # local: avoid an import cycle
 
     payload = dict(payload)
     engine = payload.pop("engine", "object")
+    metrics_stride = int(payload.pop("metrics_stride", 0))
     case = ConformanceCase.from_dict(payload)
-    result = run_case(case, engine=engine)
+    result = run_case(case, engine=engine, metrics_stride=metrics_stride)
     violations = check_case(case, result)
     return {
         "case": payload,
@@ -147,6 +163,7 @@ def run_case_payload(payload: dict) -> dict:
         "digest": result["digest"],
         "decisions": result["decisions"],
         "deadlock": result["deadlock"],
+        **({"metrics": result["metrics"]} if "metrics" in result else {}),
     }
 
 

@@ -66,8 +66,9 @@ class WorkloadSpec:
     trace_capacity: int = 65536
     metrics_stride: int = 0       # 0 = no timeseries; N = sample every N
     #: simulation engine: "object" (the oracle) or "batched" (the
-    #: struct-of-arrays engine; bit-identical summaries, falls back to
-    #: the object engine when tracing/metrics are requested)
+    #: struct-of-arrays engine; bit-identical summaries, metrics
+    #: included — falls back to the object engine only when tracing is
+    #: requested, and the summary's ``engine_fallback`` key says why)
     engine: str = "object"
 
     # -- serialization (process boundary / cache identity) ------------

@@ -45,11 +45,31 @@ class MetricsTimeseries:
         self.stride = stride
         self.columns: dict[str, list[int]] = {g: [] for g in GAUGES}
         self.link_flits: dict[tuple[int, int], int] = {}
+        # engines that count link crossings in bulk (the batched
+        # engine's per-output-VC C counters) register a drain callback
+        # instead of calling count_link per flit
+        self._link_source = None
 
     def count_link(self, src: int, dst: int) -> None:
         """One flit crossed the directed link src -> dst."""
         key = (src, dst)
         self.link_flits[key] = self.link_flits.get(key, 0) + 1
+
+    def attach_link_source(self, drain) -> None:
+        """Register a callable yielding ``((src, dst), count)`` deltas;
+        drained (and folded into ``link_flits``) at read time."""
+        self._link_source = drain
+
+    def flush_links(self) -> None:
+        """Fold any pending bulk link-count deltas into ``link_flits``.
+        Sources must zero what they hand over, so flushing twice is
+        safe."""
+        if self._link_source is None:
+            return
+        links = self.link_flits
+        for key, n in self._link_source():
+            if n:
+                links[key] = links.get(key, 0) + n
 
     def sample(self, network) -> None:
         """Record one row of gauges (the network calls this every
@@ -58,7 +78,7 @@ class MetricsTimeseries:
         cols = self.columns
         cols["cycle"].append(network.cycle)
         cols["in_flight_flits"].append(network._flits_in_flight())
-        cols["active_routers"].append(len(network._active))
+        cols["active_routers"].append(network._metrics_active_routers())
         cols["source_backlog"].append(network._pending_sources())
         cols["retry_queue"].append(len(network._pending_retries))
         cols["messages_delivered"].append(stats.messages_delivered)
@@ -90,6 +110,7 @@ class MetricsTimeseries:
 
     def to_dict(self) -> dict:
         """Canonical JSON-able form (sorted link keys, plain lists)."""
+        self.flush_links()
         links = {}
         for (a, b), n in sorted(self.link_flits.items()):
             links[f"{a}->{b}"] = n

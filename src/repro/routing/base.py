@@ -113,6 +113,16 @@ class RoutingAlgorithm:
     #: leave True whenever in doubt — a finer key is always correct
     native_key_uses_port: bool = True
     native_key_uses_vc: bool = True
+    #: opt-in for the batched engine's build-time clean table
+    #: (:mod:`repro.routing.clean_table`): asserts that while the known
+    #: fault set is EMPTY, the decision is a pure function of
+    #: (sign dx, sign dy, the ``vn`` field, the optional ``term``
+    #: field) — translation-invariant on the 2-D mesh, with every other
+    #: native field absent.  The builder still probe-verifies the claim
+    #: at build time and falls back entry-by-entry when a probe
+    #: disagrees; the table is bypassed entirely the moment a fault
+    #: becomes known.
+    native_clean_table: bool = False
 
     # -- lifecycle -------------------------------------------------------
 

@@ -57,6 +57,10 @@ class NaftaRouting(RoutingAlgorithm):
     native_fields = ("vn", "term", "sdir", "misrouted")
     native_term_rule = ("term", "vn", VN_TERMINAL)
     native_key_uses_vc = False         # in_vc is never consulted
+    # fault-free, route() reduces to NARA (minimal set + terminal run,
+    # u-turn filter never binds, clear runs span whole columns), so the
+    # decision depends only on (sign dx, sign dy, vn, term)
+    native_clean_table = True
 
     def __init__(self, livelock_factor: int = 4):
         self.livelock_factor = livelock_factor

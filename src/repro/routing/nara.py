@@ -54,6 +54,9 @@ class NaraRouting(RoutingAlgorithm):
     native_fields = ("vn",)
     native_key_uses_port = False
     native_key_uses_vc = False
+    # the candidate set is pure geometry per (node, dst, vn) — signs
+    # alone on the mesh — so the build-time clean table applies
+    native_clean_table = True
 
     def __init__(self):
         # unordered candidate sets are pure geometry (node, dst, vn) —

@@ -50,6 +50,10 @@ FIELD_NONE = -999999
 #: of lines: <= 64 decisions x ~1.6 KB)
 DIG_CAP = 1 << 20
 DIG_RESERVE = 1 << 17
+#: clean-table geometry: (sign dx + 1) x (sign dy + 1) x vn-code x term
+#: keys and the per-entry candidate capacity
+CT_KEYS = 54
+CT_CANDS = 8
 
 #: struct layout shared between the cffi cdef and the C source.  Every
 #: pointer aliases a numpy array owned by the Python-side state; the
@@ -73,6 +77,16 @@ typedef struct {
     int32_t tab_mask;         /* hash slots - 1                        */
     int32_t n_ent, ent_cap;   /* cache entries used / capacity         */
     int32_t dig_used, dig_cap;
+    /* active-set scheduling */
+    int32_t n_act;            /* live entries in act_list              */
+    int32_t scan_ai;          /* route-scan resume cursor (act index)  */
+    /* metrics bookkeeping (array-native MetricsTimeseries gauges) */
+    int32_t m_on;             /* a timeseries is attached              */
+    int32_t m_prune;          /* prune the _active mirror each cycle   */
+    int32_t m_count;          /* |_active| mirror for the gauge        */
+    /* build-time clean decision table (fault-free relative-key form) */
+    int32_t ct_on;            /* table lookups live this epoch         */
+    int32_t ct_vnf, ct_termf; /* native slots of vn / term (-1: none)  */
     /* static layout */
     int32_t *iv_off;          /* n_nodes+1: gid span per node          */
     int32_t *iv_node;         /* n_iv                                  */
@@ -136,6 +150,24 @@ typedef struct {
     /* decision digest byte stream + stats accumulators */
     uint8_t *dig;
     int64_t *dstat;           /* 0 decisions 1 steps-sum 2 max 3 lines */
+    /* active-set + metrics arrays */
+    int32_t *act_list;        /* n_nodes: active node ids; sorted at
+                                 cycle start, same-cycle appends at the
+                                 tail (processed from the next cycle)  */
+    uint8_t *act_flag;        /* n_nodes: act_list membership          */
+    uint8_t *m_flag;          /* n_nodes: object-engine _active mirror */
+    int64_t *link_cnt;        /* n_iv: flits forwarded per output VC   */
+    /* clean table: node coordinates + CT_KEYS dense entries */
+    int32_t *node_x;
+    int32_t *node_y;
+    uint8_t *ct_valid;
+    uint8_t *ct_deliver;
+    uint8_t *ct_hint;
+    int32_t *ct_steps;
+    int32_t *ct_ncand;
+    int32_t *ct_vn_after;     /* F_ABSENT = leave the vn field alone   */
+    int32_t *ct_cp;           /* CT_KEYS x CT_CANDS                    */
+    int32_t *ct_cv;
 } BState;
 """
 
@@ -148,7 +180,7 @@ typedef long long int64_t;
 void k_flush(BState *s);
 int  k_start_scan(BState *s, int32_t *out_nodes);
 int  k_inject(BState *s, int32_t *out_heads);
-int  k_route_scan(BState *s, int start_node, int cycle, int epoch,
+int  k_route_scan(BState *s, int start_ai, int cycle, int epoch,
                   int adaptive, int32_t *need);
 int  k_try_hit(BState *s, int g, int cycle, int epoch);
 void k_note(BState *s, int g, int steps, int32_t b0, int32_t b1,
@@ -157,6 +189,8 @@ void k_note(BState *s, int g, int steps, int32_t b0, int32_t b1,
 void k_resort(BState *s, int g);
 int  k_alloc(BState *s);
 int  k_purge(BState *s, int node, int msg);
+int  k_purge_all(BState *s, int msg);
+void k_activate(BState *s, int node);
 void k_cache_clear(BState *s);
 void k_rehash(BState *s);
 """
@@ -170,13 +204,64 @@ _SOURCE = """
 #define SLOT(s, node, pid) ((node) * ((s)->max_pid + 2) + (pid) + 1)
 #define KEYW 10
 #define MAXF 5
+#define F_ABSENT (-1000000)
+#define CT_CANDS 8
+
+/* -- active-set scheduling ---------------------------------------- */
+
+/* every kernel walk iterates the compact active-node list instead of
+   all n_nodes, so idle fabric costs nothing per cycle; nodes enter on
+   flit arrival or source activity and leave via the cycle-start sweep */
+static void activate(BState *s, int node)
+{
+    if (!s->act_flag[node]) {
+        s->act_flag[node] = 1;
+        s->act_list[s->n_act++] = node;
+    }
+}
+
+void k_activate(BState *s, int node) { activate(s, node); }
+
+/* cycle-start sweep: drop nodes with no flits and no source work (the
+   object engine's lazy _active prune), maintain the metrics _active
+   mirror, and keep the list sorted ascending — every kernel walk then
+   preserves the sequential node order the same-cycle credit chains and
+   the decision digest depend on */
+static void act_compact(BState *s)
+{
+    int n = s->n_act, w = 0;
+    for (int i = 0; i < n; i++) {
+        int node = s->act_list[i];
+        if (s->m_prune && s->m_flag[node] && s->r_nflits[node] <= 0) {
+            s->m_flag[node] = 0;
+            s->m_count--;
+        }
+        if (s->r_nflits[node] > 0 || s->src_cur[node] >= 0
+                || s->src_qlen[node] > 0)
+            s->act_list[w++] = node;
+        else
+            s->act_flag[node] = 0;
+    }
+    for (int i = 1; i < w; i++) {   /* few unsorted same-cycle appends */
+        int v = s->act_list[i], j = i - 1;
+        while (j >= 0 && s->act_list[j] > v) {
+            s->act_list[j + 1] = s->act_list[j];
+            j--;
+        }
+        s->act_list[j + 1] = v;
+    }
+    s->n_act = w;
+}
 
 /* one flit arrives per input VC per cycle at most (each input VC is
    fed by exactly one upstream output VC, local VCs by injection), so
    the 1-deep staging slot mirrors the object engine's incoming list */
 void k_flush(BState *s)
 {
-    for (int node = 0; node < s->n_nodes; node++) {
+    act_compact(s);
+    int na = s->n_act;
+    for (int ai = 0; ai < na; ai++) {
+        int node = s->act_list[ai];
         if (s->r_nflits[node] <= 0) continue;
         int hi = s->iv_off[node + 1];
         for (int g = s->iv_off[node]; g < hi; g++) {
@@ -199,21 +284,24 @@ void k_flush(BState *s)
    caller MUST pop one message per listed node and set src_cur */
 int k_start_scan(BState *s, int32_t *out_nodes)
 {
-    int n = 0;
-    for (int node = 0; node < s->n_nodes; node++)
+    int n = 0, na = s->n_act;
+    for (int ai = 0; ai < na; ai++) {
+        int node = s->act_list[ai];
         if (s->src_cur[node] < 0 && s->src_qlen[node] > 0
                 && s->node_ok[node]) {
             s->src_qlen[node]--;
             s->src_pos[node] = 0;
             out_nodes[n++] = node;
         }
+    }
     return n;
 }
 
 int k_inject(BState *s, int32_t *out_heads)
 {
-    int nh = 0;
-    for (int node = 0; node < s->n_nodes; node++) {
+    int nh = 0, na = s->n_act;
+    for (int ai = 0; ai < na; ai++) {
+        int node = s->act_list[ai];
         int cur = s->src_cur[node];
         if (cur < 0 || !s->node_ok[node]) continue;
         int g = s->portbase[SLOT(s, node, -1)] + s->inj_vc;
@@ -223,6 +311,10 @@ int k_inject(BState *s, int32_t *out_heads)
         s->inc_seq[g] = seq;
         s->inc_val[g] = 1;
         s->r_nflits[node]++;
+        if (s->m_on && !s->m_flag[node]) {
+            s->m_flag[node] = 1;
+            s->m_count++;
+        }
         if (seq == 0) out_heads[nh++] = cur;
         s->src_pos[node] = seq + 1;
         if (seq + 1 >= s->msg_len[cur]) s->src_cur[node] = -1;
@@ -332,20 +424,37 @@ static void dig_line(BState *s, int node, int g, int steps)
     s->dstat[3]++;
 }
 
-/* replay a cached decision: the recorded header-field writes, the
-   candidate set (re-sorted by current loads when RESORT-hinted), the
-   decision-latency timer, stats counters and the digest line — the
-   exact effect the object engine's route_stage would have had */
+/* shared tail of every C-side decision replay: the decision-latency
+   timer, the RESORT re-sort by current loads, stats counters and the
+   digest line — the exact effect the object engine's route_stage
+   would have had */
+static void apply_common(BState *s, int g, int node, int steps,
+                         int cycle, int epoch)
+{
+    s->st[g] = 1;
+    s->stuckf[g] = 0;
+    int lat = steps * s->cps;
+    if (lat < 1) lat = 1;
+    s->ready[g] = cycle + lat - 1;
+    s->epoch[g] = epoch;
+    if (s->hint[g] == 1) resort_cands(s, g, node);
+    s->dstat[0]++;
+    s->dstat[1] += steps;
+    if (steps > s->dstat[2]) s->dstat[2] = steps;
+    dig_line(s, node, g, steps);
+    if (cycle >= s->ready[g]) s->st[g] = 2;     /* same-cycle ROUTED */
+}
+
+/* replay an exact-key cache entry: recorded header-field after-values
+   plus the recorded candidate set */
 static void apply_hit(BState *s, int g, int node, int mid, int e,
                       int cycle, int epoch)
 {
     int32_t *f = s->msg_f + (int64_t)mid * MAXF;
     const int32_t *a = s->ea + (int64_t)e * MAXF;
     for (int i = 0; i < s->n_native; i++) f[i] = a[i];
-    s->st[g] = 1;
     s->head_msg[g] = mid;
     s->deliver[g] = s->e_deliver[e];
-    s->stuckf[g] = 0;
     s->hint[g] = s->e_hint[e];
     int n = s->e_ncand[e];
     s->ncand[g] = n;
@@ -353,17 +462,56 @@ static void apply_hit(BState *s, int g, int node, int mid, int e,
            s->e_cp + (int64_t)e * s->maxc, n * sizeof(int32_t));
     memcpy(s->cand_v + (int64_t)g * s->maxc,
            s->e_cv + (int64_t)e * s->maxc, n * sizeof(int32_t));
-    int steps = s->e_steps[e];
-    int lat = steps * s->cps;
-    if (lat < 1) lat = 1;
-    s->ready[g] = cycle + lat - 1;
-    s->epoch[g] = epoch;
-    if (s->e_hint[e] == 1) resort_cands(s, g, node);
-    s->dstat[0]++;
-    s->dstat[1] += steps;
-    if (steps > s->dstat[2]) s->dstat[2] = steps;
-    dig_line(s, node, g, steps);
-    if (cycle >= s->ready[g]) s->st[g] = 2;     /* same-cycle ROUTED */
+    apply_common(s, g, node, s->e_steps[e], cycle, epoch);
+}
+
+/* Build-time clean table: while the known-fault set is empty, the
+   native mesh algorithms' decisions are a pure function of (sign dx,
+   sign dy, vn, term) — translation-invariant, so a 54-entry table
+   proved once per build by running route() at a central node replays
+   the decision for any congruent (node, dst, state) without ever
+   entering Python, even on the very first sighting of a key.  Falls
+   through (return 0) whenever the message state leaves the table's
+   domain: livelock overflow, any other native field set, or an entry
+   the builder could not prove. */
+static int ct_lookup(BState *s, int g, int node, int mid,
+                     int cycle, int epoch)
+{
+    if (!s->ct_on || s->msg_plen[mid] > s->limit) return 0;
+    int32_t *f = s->msg_f + (int64_t)mid * MAXF;
+    int term = 0, vncode = 0;
+    for (int i = 0; i < s->n_native; i++) {
+        int fv = f[i];
+        if (i == s->ct_vnf) {
+            if (fv == 0) vncode = 1;
+            else if (fv == 1) vncode = 2;
+            else if (fv != F_ABSENT) return 0;
+        } else if (i == s->ct_termf) {
+            if (fv == 1) term = 1;
+            else if (fv != F_ABSENT && fv != 0) return 0;
+        } else if (fv != F_ABSENT)
+            return 0;
+    }
+    int dst = s->msg_dst[mid];
+    int ddx = s->node_x[dst] - s->node_x[node];
+    int ddy = s->node_y[dst] - s->node_y[node];
+    int sdx = (ddx > 0) - (ddx < 0);
+    int sdy = (ddy > 0) - (ddy < 0);
+    int idx = (((sdx + 1) * 3 + sdy + 1) * 3 + vncode) * 2 + term;
+    if (!s->ct_valid[idx]) return 0;
+    if (s->ct_vn_after[idx] != F_ABSENT)
+        f[s->ct_vnf] = s->ct_vn_after[idx];
+    s->head_msg[g] = mid;
+    s->deliver[g] = s->ct_deliver[idx];
+    s->hint[g] = s->ct_hint[idx];
+    int n = s->ct_ncand[idx];
+    s->ncand[g] = n;
+    memcpy(s->cand_p + (int64_t)g * s->maxc,
+           s->ct_cp + (int64_t)idx * CT_CANDS, n * sizeof(int32_t));
+    memcpy(s->cand_v + (int64_t)g * s->maxc,
+           s->ct_cv + (int64_t)idx * CT_CANDS, n * sizeof(int32_t));
+    apply_common(s, g, node, s->ct_steps[idx], cycle, epoch);
+    return 1;
 }
 
 int k_try_hit(BState *s, int g, int cycle, int epoch)
@@ -372,6 +520,7 @@ int k_try_hit(BState *s, int g, int cycle, int epoch)
     int hd = s->buf_head[g];
     int mid = s->buf_msg[(int64_t)g * s->cap + hd];
     if (s->buf_seq[(int64_t)g * s->cap + hd] != 0) return 0;
+    if (ct_lookup(s, g, s->iv_node[g], mid, cycle, epoch)) return 1;
     int32_t k[KEYW];
     mk_key(s, g, mid, k);
     int e = probe(s, k);
@@ -444,24 +593,29 @@ void k_rehash(BState *s)
     }
 }
 
-/* Route stage over nodes >= start_node in ascending order, mirroring
-   Router.route_stage gid-for-gid: idle heads are served from the
-   native cache, ROUTING timers expire, RESORT-hinted blocked heads are
-   re-sorted.  The scan stops at the first input VC that needs Python —
-   a cache miss, a REROUTE/epoch-stale refresh, a hop-budget overflow
-   or a stuck decision about to fire — and returns that gid plus the
-   node's remaining occupied gids (Python finishes the node in order,
-   applies any stuck purges, and resumes at node+1, so purge effects
-   are visible to later nodes exactly as in the object engine).
-   Returns 0 when every remaining node was handled, or -(node+1) when
-   the digest buffer needs a flush before node can be processed. */
-int k_route_scan(BState *s, int start_node, int cycle, int epoch,
+/* Route stage over active-list indices >= start_ai (the list is
+   sorted ascending at cycle start, so this is ascending node order),
+   mirroring Router.route_stage gid-for-gid: idle heads are served
+   from the clean table or the native cache, ROUTING timers expire,
+   RESORT-hinted blocked heads are re-sorted.  The scan stops at the
+   first input VC that needs Python — a cache miss, a REROUTE/
+   epoch-stale refresh, a hop-budget overflow or a stuck decision
+   about to fire — stores the cursor in scan_ai and returns that gid
+   plus the node's remaining occupied gids (Python finishes the node
+   in order, applies any stuck purges, and resumes at scan_ai+1, so
+   purge effects are visible to later nodes exactly as in the object
+   engine).  Returns 0 when every remaining node was handled, or
+   -(ai+1) when the digest buffer needs a flush before act_list[ai]
+   can be processed. */
+int k_route_scan(BState *s, int start_ai, int cycle, int epoch,
                  int adaptive, int32_t *need)
 {
-    for (int node = start_node; node < s->n_nodes; node++) {
+    int na = s->n_act;
+    for (int ai = start_ai; ai < na; ai++) {
+        int node = s->act_list[ai];
         if (s->r_nflits[node] <= 0) continue;
         if (s->dig_on && s->dig_used > s->dig_cap - RESERVE_BYTES)
-            return -(node + 1);
+            return -(ai + 1);
         int lo = s->iv_off[node], hi = s->iv_off[node + 1];
         for (int g = lo; g < hi; g++) {
             if (!s->buf_cnt[g]) continue;
@@ -472,9 +626,11 @@ int k_route_scan(BState *s, int start_node, int cycle, int epoch,
                 int mid = s->buf_msg[(int64_t)g * s->cap + hd];
                 if (s->buf_seq[(int64_t)g * s->cap + hd] != 0
                         || (s->hop_budget
-                            && s->msg_plen[mid] > s->hop_budget)
-                        || !s->n_native
-                        || s->n_ent >= s->ent_cap) {
+                            && s->msg_plen[mid] > s->hop_budget)) {
+                    hard = 1;
+                } else if (ct_lookup(s, g, node, mid, cycle, epoch)) {
+                    /* served from the clean table */
+                } else if (!s->n_native || s->n_ent >= s->ent_cap) {
                     hard = 1;
                 } else {
                     int32_t k[KEYW];
@@ -497,6 +653,7 @@ int k_route_scan(BState *s, int start_node, int cycle, int epoch,
                 int n = 0;
                 for (int g2 = g; g2 < hi; g2++)
                     if (s->buf_cnt[g2]) need[n++] = g2;
+                s->scan_ai = ai;
                 return n;
             }
         }
@@ -562,10 +719,19 @@ static void do_grant(BState *s, int node, int g, int ovg, int is_head)
             s->counters[2]++;              /* non-tail flit delivered */
     } else {
         int d = s->ov_down[ovg];
+        int dn = s->iv_node[d];
         s->inc_msg[d] = msg;
         s->inc_seq[d] = seq;
         s->inc_val[d] = 1;
-        s->r_nflits[s->iv_node[d]]++;
+        s->r_nflits[dn]++;
+        activate(s, dn);
+        if (s->m_on) {
+            s->link_cnt[ovg]++;            /* directed per-link flits */
+            if (!s->m_flag[dn]) {
+                s->m_flag[dn] = 1;
+                s->m_count++;
+            }
+        }
         s->counters[1]++;                  /* flit hop */
     }
 }
@@ -577,11 +743,12 @@ static void do_grant(BState *s, int node, int g, int ovg, int is_head)
    the object engine. */
 int k_alloc(BState *s)
 {
-    int moved = 0;
+    int moved = 0, na = s->n_act;
     s->counters[1] = 0;
     s->counters[2] = 0;
     s->counters[3] = 0;
-    for (int node = 0; node < s->n_nodes; node++) {
+    for (int ai = 0; ai < na; ai++) {
+        int node = s->act_list[ai];
         if (s->r_nflits[node] <= 0 || !s->node_ok[node]) continue;
         int lo = s->iv_off[node], hi = s->iv_off[node + 1];
         int nreq = 0;
@@ -720,6 +887,18 @@ int k_purge(BState *s, int node, int msg)
     }
     s->r_nflits[node] -= dropped;
     s->counters[0]++;
+    return dropped;
+}
+
+/* purge one message from every router — the object engine's
+   drop_message walk over all routers, without n_nodes Python->C
+   round-trips (each per-node purge bumps the load token exactly as
+   the per-router Router.purge_message does) */
+int k_purge_all(BState *s, int msg)
+{
+    int dropped = 0;
+    for (int node = 0; node < s->n_nodes; node++)
+        dropped += k_purge(s, node, msg);
     return dropped;
 }
 """.replace("RESERVE_BYTES", str(DIG_RESERVE))

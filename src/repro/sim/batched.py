@@ -30,13 +30,27 @@ mirror the oracle one-for-one:
   Python — and a per-epoch decision cache with header-field delta
   replay keeps those Python entries cheap.
 
+The per-cycle C scans iterate an *active set* — a compacted, sorted
+array of nodes that hold flits, are mid-injection or have queued
+sources — so idle fabric costs nothing per cycle and throughput scales
+with occupancy, not mesh size.  While the known fault set is empty, a
+build-time 54-entry clean table (:mod:`repro.routing.clean_table`)
+replays the native algorithms' translation-invariant decisions
+entirely in C, eliminating the decision-cache fill cliff.  Metrics
+timeseries attach natively: the kernels maintain the active-router
+gauge and per-link flit counters in arrays, drained into
+:class:`repro.obs.metrics.MetricsTimeseries` at read time.
+
 Use :func:`build_network` to construct a network honouring
 ``SimConfig.engine``; it transparently falls back to the object engine
-(and documents why) when tracing or metrics are attached, a non-stock
-arbiter is requested, or no C compiler is available.
+(and documents why, in ``SimStats.summary()['engine_fallback']``) when
+tracing is attached, a non-stock arbiter is requested, or no C
+compiler is available.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -45,8 +59,9 @@ from .config import SimConfig
 from .flit import Flit, FlitKind
 from .network import DeadlockError, Network
 from .router import ACTIVE, IDLE, LOCAL, ROUTED, ROUTING, InputVC, OutputVC
-from ._batched_kernel import (DIG_CAP, FIELD_ABSENT, FIELD_NONE, MAXF,
-                              kernel_available, load_kernel)
+from ._batched_kernel import (CT_CANDS, CT_KEYS, DIG_CAP, FIELD_ABSENT,
+                              FIELD_NONE, MAXF, kernel_available,
+                              load_kernel)
 from ..routing.base import REFRESH_REROUTE, REFRESH_RESORT, RouteDecision
 
 _STATE_NAMES = (IDLE, ROUTING, ROUTED, ACTIVE)
@@ -208,8 +223,9 @@ class BatchedNetwork(Network):
     Only the per-cycle data-path phases are replaced (``_advance`` and
     the helpers it drives); the fault machinery, retry queue, diagnosis
     flood and watchdog run unchanged against router facades.  Requires
-    the stock round-robin arbiter and no tracer/metrics — use
-    :func:`build_network` for transparent fallback."""
+    the stock round-robin arbiter and no tracer (metrics timeseries
+    attach natively) — use :func:`build_network` for transparent
+    fallback."""
 
     engine_name = "batched"
 
@@ -225,17 +241,20 @@ class BatchedNetwork(Network):
             raise ValueError("the batched engine does not emit trace "
                              "events; use build_network() to fall back "
                              "to the object engine when tracing")
-        if metrics is not None:
-            raise ValueError("the batched engine keeps no per-link "
-                             "counters; use build_network() to fall "
-                             "back to the object engine for metrics")
         self._ffi, self._lib = kern
-        super().__init__(topology, algorithm, config, arbiter=arbiter)
+        super().__init__(topology, algorithm, config, arbiter=arbiter,
+                         metrics=metrics)
         if type(self.arbiter) is not Arbiter:
             raise ValueError(
                 f"the batched engine implements only the stock "
                 f"round-robin arbiter, not {self.arbiter.name!r}; use "
                 f"build_network() for transparent fallback")
+        # the clean table probes route() through the algorithm's live
+        # state, so it installs only after reset() ran (end of the base
+        # constructor)
+        self._install_clean_table()
+        if metrics is not None:
+            metrics.attach_link_source(self._drain_link_counts)
 
     # -- construction -------------------------------------------------
 
@@ -350,6 +369,26 @@ class BatchedNetwork(Network):
         self._dig = u8(DIG_CAP if native else 16)
         self._dstat = np.zeros(4, dtype=np.int64)
 
+        # active set: the compacted, sorted node list the per-cycle C
+        # scans iterate, plus the metrics mirrors (the object engine's
+        # _active set and its per-link flit counters)
+        self._act_list = i32(n_nodes)
+        self._act_flag = u8(n_nodes)
+        self._m_flag = u8(n_nodes)
+        self._link_cnt = np.zeros(n_iv, dtype=np.int64)
+        # clean-table state: node coordinates (filled when a table
+        # installs) + the dense 54-entry decision table
+        self._node_x = i32(n_nodes)
+        self._node_y = i32(n_nodes)
+        self._ct_valid = u8(CT_KEYS)
+        self._ct_deliver = u8(CT_KEYS)
+        self._ct_hint = u8(CT_KEYS)
+        self._ct_steps = i32(CT_KEYS)
+        self._ct_ncand = i32(CT_KEYS)
+        self._ct_vn_after = np.full(CT_KEYS, FIELD_ABSENT, dtype=np.int32)
+        self._ct_cp = i32(CT_KEYS, CT_CANDS)
+        self._ct_cv = i32(CT_KEYS, CT_CANDS)
+
         g = 0
         for node in range(n_nodes):
             ports = node_ports[node]
@@ -412,6 +451,16 @@ class BatchedNetwork(Network):
         cs.ent_cap = ent_cap
         cs.dig_used = 0
         cs.dig_cap = self._dig.shape[0]
+        cs.n_act = 0
+        cs.scan_ai = 0
+        cs.m_on = 1 if self.metrics is not None else 0
+        # the object engine prunes its _active set only under active
+        # scheduling; mirror that so the gauge matches bit-for-bit
+        cs.m_prune = 1 if self.config.active_scheduling else 0
+        cs.m_count = 0
+        cs.ct_on = 0
+        cs.ct_vnf = -1
+        cs.ct_termf = -1
         self._cs = cs
         self._bufs: list = []
 
@@ -424,16 +473,21 @@ class BatchedNetwork(Network):
                      "ev_kind", "ev_node", "ev_msg", "ev_a",
                      "ev_b", "req_g", "req_ov", "msg_len", "msg_dst",
                      "msg_plen", "msg_f", "term_port", "tab", "ek",
-                     "ea", "e_steps", "e_ncand", "e_cp", "e_cv"):
+                     "ea", "e_steps", "e_ncand", "e_cp", "e_cv",
+                     "act_list", "node_x", "node_y", "ct_steps",
+                     "ct_ncand", "ct_vn_after", "ct_cp", "ct_cv"):
             attr = {"epoch": "_epoch_a"}.get(name, "_" + name)
             self._bind(name, getattr(self, attr), "int32_t *")
         self._bind("st", self._ivst, "uint8_t *")
         for name in ("inc_val", "deliver", "stuckf", "hint", "node_ok",
-                     "alive", "req_head", "e_deliver", "e_hint", "dig"):
+                     "alive", "req_head", "e_deliver", "e_hint", "dig",
+                     "act_flag", "m_flag", "ct_valid", "ct_deliver",
+                     "ct_hint"):
             self._bind(name, getattr(self, "_" + name), "uint8_t *")
         self._bind("rr_ptr", self._rr_ptr, "int64_t *")
         self._bind("counters", self._counters, "int64_t *")
         self._bind("dstat", self._dstat, "int64_t *")
+        self._bind("link_cnt", self._link_cnt, "int64_t *")
         self._need_ptr = ffi.cast("int32_t *", ffi.from_buffer(self._need))
         self._heads_ptr = ffi.cast("int32_t *",
                                    ffi.from_buffer(self._heads))
@@ -444,6 +498,7 @@ class BatchedNetwork(Network):
         self._dec_cache: dict = {}
         self._dec_epoch = -1
         self._c_epoch = None           # native cache's route_epoch
+        self._ct_ready = False         # set by _install_clean_table
         self.routers = [BatchedRouter(self, n) for n in topo.nodes()]
 
     def _bind(self, field: str, arr, ctype: str) -> None:
@@ -483,6 +538,40 @@ class BatchedNetwork(Network):
         cs.ent_cap = cap
         cs.tab_mask = cap * 4 - 1
         self._lib.k_rehash(cs)
+
+    def _install_clean_table(self) -> None:
+        """Build (or load from the code-version-keyed cache) the clean
+        decision table and hand it to the kernel fully populated.
+        ``ct_on`` itself is (re)evaluated per route epoch in
+        ``_route_phase`` — lookups live only while the known fault set
+        is empty."""
+        if not self._native or os.environ.get("REPRO_BATCHED_NO_TABLE"):
+            return
+        from ..routing.clean_table import load_or_build
+        table = load_or_build(self.algorithm, self.topology)
+        if table is None or not table.n_valid():
+            return
+        topo = self.topology
+        node_x, node_y = self._node_x, self._node_y
+        for node in topo.nodes():
+            x, y = topo.coords(node)
+            node_x[node] = x
+            node_y[node] = y
+        self._ct_valid[:] = table.valid
+        self._ct_deliver[:] = table.deliver
+        self._ct_hint[:] = table.hint
+        self._ct_steps[:] = table.steps
+        self._ct_ncand[:] = table.ncand
+        self._ct_vn_after[:] = table.vn_after
+        shape = (CT_KEYS, CT_CANDS)
+        self._ct_cp[:] = np.asarray(table.cp, dtype=np.int32) \
+            .reshape(shape)
+        self._ct_cv[:] = np.asarray(table.cv, dtype=np.int32) \
+            .reshape(shape)
+        cs = self._cs
+        cs.ct_vnf = self._nf.index("vn")
+        cs.ct_termf = self._nf.index("term") if "term" in self._nf else -1
+        self._ct_ready = True
 
     # -- per-message mirrors ------------------------------------------
 
@@ -593,8 +682,13 @@ class BatchedNetwork(Network):
                 # fault knowledge changed: every cached decision is void
                 lib.k_cache_clear(cs)
                 self._c_epoch = epoch
+                # the clean table is proven for the *empty* known-fault
+                # set only; any known fault turns it off until an epoch
+                # without faults returns
+                cs.ct_on = 1 if (self._ct_ready and
+                                 self.known_faults.n_faults() == 0) else 0
             cs.dig_on = 1 if self.stats.digest is not None else 0
-        start = 0
+        start = 0                        # active-list index, not a gid
         while True:
             n = lib.k_route_scan(cs, start, cycle, epoch, adaptive,
                                  need_ptr)
@@ -604,7 +698,8 @@ class BatchedNetwork(Network):
                 self._flush_digest()
                 start = -n - 1
                 continue
-            start = self._route_gids(n, cycle, epoch) + 1
+            self._route_gids(n, cycle, epoch)
+            start = int(cs.scan_ai) + 1
         self._flush_native_stats()
 
     def _flush_digest(self) -> None:
@@ -885,6 +980,26 @@ class BatchedNetwork(Network):
     def _flits_in_flight(self) -> int:
         return int(self._r_nflits.sum())
 
+    def _metrics_active_routers(self) -> int:
+        # C-side mirror of the object engine's _active set (see
+        # act_compact / k_inject / do_grant in the kernel)
+        return int(self._cs.m_count)
+
+    def _drain_link_counts(self):
+        """((src, dst), count) deltas for ``MetricsTimeseries.
+        flush_links``; zeroes what it hands over, so repeated
+        ``to_dict()`` reads stay exact.  Two output VCs on one port
+        fold into the same directed pair downstream."""
+        cnt = self._link_cnt
+        out: list = []
+        iv_node = self._iv_node
+        ov_down = self._ov_down
+        for ovg in np.flatnonzero(cnt).tolist():
+            out.append(((int(iv_node[ovg]), int(iv_node[ov_down[ovg]])),
+                        int(cnt[ovg])))
+            cnt[ovg] = 0
+        return out
+
     def _pending_sources(self) -> int:
         n = sum(len(s.queue) for s in self.sources)
         cur = self._src_cur
@@ -908,6 +1023,9 @@ class BatchedNetwork(Network):
         msg = super().offer(src, dst, length, **fields)
         if msg is not None:
             self._src_qlen[src] += 1
+            # a queued source makes the node active (the C scans only
+            # visit the active list); compacted away once it drains
+            self._lib.k_activate(self._cs, src)
         return msg
 
     def _release_retry(self, src, dst, length, carry) -> None:
@@ -915,6 +1033,7 @@ class BatchedNetwork(Network):
         super()._release_retry(src, dst, length, carry)
         if len(self.sources[src].queue) != before:
             self._src_qlen[src] += 1
+            self._lib.k_activate(self._cs, src)
 
     def _apply_fault_now(self, event) -> None:
         super()._apply_fault_now(event)
@@ -956,8 +1075,8 @@ class BatchedNetwork(Network):
     def message_stuck(self, msg_id: int) -> None:
         if self._native and msg_id in self.messages:
             self._sync_fields(msg_id)      # fields faithful on exit
-        for r in self.routers:
-            r.purge_message(msg_id)
+        self._lib.k_purge_all(self._cs, msg_id)
+        self._load_token = int(self._counters[0])
         msg = self.messages.get(msg_id)
         if msg is not None:
             src = msg.header.src
@@ -973,8 +1092,8 @@ class BatchedNetwork(Network):
     def drop_message(self, msg_id: int, event=None) -> None:
         if self._native and msg_id in self.messages:
             self._sync_fields(msg_id)      # fields faithful on exit
-        for r in self.routers:
-            r.purge_message(msg_id)
+        self._lib.k_purge_all(self._cs, msg_id)
+        self._load_token = int(self._counters[0])
         msg = self.messages.get(msg_id)
         if msg is None:  # pragma: no cover
             return
@@ -1102,14 +1221,14 @@ def batched_fallback_reason(arbiter="round_robin", tracer=None,
     for this configuration — None when the batched engine applies.
 
     The fallback rules (documented in docs/PERFORMANCE.md): the batched
-    engine emits no trace events and keeps no per-link metrics
-    counters, implements only the stock round-robin arbiter, and needs
-    a C compiler (or a previously cached kernel build) on first use."""
+    engine emits no trace events, implements only the stock round-robin
+    arbiter, and needs a C compiler (or a previously cached kernel
+    build) on first use.  Metrics timeseries no longer force a
+    fallback: the kernels keep the per-link counters and the
+    active-router gauge in arrays and drain them into the timeseries
+    (the ``metrics`` parameter is kept for call-site compatibility)."""
     if tracer is not None and getattr(tracer, "enabled", True):
         return "tracing is enabled (the batched data path emits no events)"
-    if metrics is not None:
-        return ("a metrics timeseries is attached (the batched data "
-                "path keeps no per-link counters)")
     if isinstance(arbiter, Arbiter):
         if type(arbiter) is not Arbiter:
             return (f"arbiter {arbiter.name!r} is not the stock "
@@ -1129,10 +1248,19 @@ def build_network(topology, algorithm, config: SimConfig | None = None,
     ``engine="batched"`` transparently falls back to the (bit-
     identical) object engine when :func:`batched_fallback_reason` says
     so; inspect the returned network's ``engine_name`` to see which
-    engine actually runs."""
+    engine actually runs.  A fallback also records its reason in
+    ``stats.engine_fallback`` (surfaced as the ``engine_fallback`` key
+    of ``SimStats.summary()``), so runners and campaigns report *why*
+    without holding the network object."""
     cfg = config or SimConfig()
-    if cfg.engine == "batched" \
-            and batched_fallback_reason(arbiter, tracer, metrics) is None:
-        return BatchedNetwork(topology, algorithm, cfg, arbiter=arbiter)
+    if cfg.engine == "batched":
+        reason = batched_fallback_reason(arbiter, tracer, metrics)
+        if reason is None:
+            return BatchedNetwork(topology, algorithm, cfg,
+                                  arbiter=arbiter, metrics=metrics)
+        net = Network(topology, algorithm, cfg, arbiter=arbiter,
+                      tracer=tracer, metrics=metrics)
+        net.stats.engine_fallback = reason
+        return net
     return Network(topology, algorithm, cfg, arbiter=arbiter,
                    tracer=tracer, metrics=metrics)

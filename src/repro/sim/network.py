@@ -728,6 +728,11 @@ class Network:
     def _pending_sources(self) -> int:
         return sum(len(s.queue) + len(s.current) for s in self.sources)
 
+    def _metrics_active_routers(self) -> int:
+        """Gauge behind the metrics timeseries' ``active_routers``
+        column (the batched engine answers from its C-side mirror)."""
+        return len(self._active)
+
     def in_flight(self) -> int:
         return self._flits_in_flight()
 

@@ -81,6 +81,11 @@ class StatsCollector:
     #: attached :class:`DecisionDigest` (opt-in, e.g. by the conformance
     #: harness; None keeps summaries bit-identical to undigested runs)
     digest: DecisionDigest | None = None
+    #: why a ``SimConfig(engine="batched")`` request fell back to the
+    #: object engine (set by :func:`repro.sim.batched.build_network`;
+    #: None — and no summary key — when no fallback happened, so
+    #: unaffected summaries stay bit-identical)
+    engine_fallback: str | None = None
 
     # -- recording -----------------------------------------------------
 
@@ -185,6 +190,8 @@ class StatsCollector:
         if self.digest is not None:
             out["decision_digest"] = self.digest.hexdigest()
             out["decision_digest_count"] = self.digest.count
+        if self.engine_fallback is not None:
+            out["engine_fallback"] = self.engine_fallback
         return out
 
     def _summary(self, n_nodes: int) -> dict:

@@ -64,6 +64,7 @@ def cmd_run(args) -> int:
     if args.cases:
         stream = itertools.islice(stream, args.cases)
     engine = getattr(args, "engine", "object")
+    metrics = bool(getattr(args, "metrics", False))
 
     deadline = (time.monotonic() + args.budget) if args.budget else None
     reports: list[dict] = []
@@ -76,11 +77,15 @@ def cmd_run(args) -> int:
         if not chunk:
             break
         payloads = [c.to_dict() for c in chunk]
-        if engine != "object":
-            # the engine is a run property, not part of the scenario —
-            # run_case_payload strips it before rebuilding the case
+        if engine != "object" or metrics:
+            # engine and metrics are run properties, not part of the
+            # scenario — run_case_payload strips them before
+            # rebuilding the case
             for p in payloads:
-                p["engine"] = engine
+                if engine != "object":
+                    p["engine"] = engine
+                if metrics:
+                    p["metrics_stride"] = 1
         reports.extend(run_parallel(payloads, run_case_payload,
                                     workers=args.workers,
                                     progress=args.progress,
@@ -100,7 +105,8 @@ def cmd_run(args) -> int:
           f"in {len(failures)} failing cases "
           f"(seed {args.seed}"
           + (f", mutation {args.mutate}" if args.mutate else "")
-          + (f", engine {engine}" if engine != "object" else "") + ")")
+          + (f", engine {engine}" if engine != "object" else "")
+          + (", metrics" if metrics else "") + ")")
     for name in sorted(per_algo):
         print(f"  {name}: {per_algo[name]} cases")
 
@@ -199,6 +205,11 @@ def main(argv=None) -> int:
                             "batched must match the object oracle "
                             "bit-for-bit, so this doubles as an "
                             "engine-parity check")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="attach a stride-1 metrics timeseries to "
+                            "every run; sampling must never perturb a "
+                            "digest, so this doubles as an "
+                            "observer-invisibility check")
     p_run.add_argument("--mutate", metavar="NAME",
                        help="apply a registered test-only mutation "
                             f"({', '.join(sorted(MUTATIONS))})")

@@ -127,13 +127,182 @@ def test_build_network_selects_and_falls_back():
     net = build_network(topo, make_algorithm("xy"), cfg)
     assert isinstance(net, BatchedNetwork)
     assert net.engine_name == "batched"
-    # a tracer forces the documented fallback to the object oracle
+    # a tracer forces the documented fallback to the object oracle —
+    # and the summary says so, so sweep outputs record which engine ran
     class _Tracer:
         enabled = True
     fell_back = build_network(topo, make_algorithm("xy"), cfg,
                               tracer=_Tracer())
     assert type(fell_back) is Network
     assert fell_back.engine_name == "object"
+    summary = fell_back.stats.summary(topo.n_nodes)
+    assert "tracing" in summary["engine_fallback"]
+    # engines that never fell back must not carry the key at all
+    assert "engine_fallback" not in net.stats.summary(topo.n_nodes)
+
+
+def test_build_network_with_metrics_stays_batched():
+    """Metrics no longer force the object engine: the batched build
+    keeps the timeseries and fills it natively."""
+    from repro.obs import MetricsTimeseries
+    topo = Mesh2D(4, 4)
+    net = build_network(topo, make_algorithm("nafta"),
+                        SimConfig(engine="batched"),
+                        metrics=MetricsTimeseries(stride=1))
+    assert isinstance(net, BatchedNetwork)
+    assert net.engine_name == "batched"
+    assert net.metrics is not None
+
+
+# ---------------------------------------------------------------------------
+# array-native metrics: gauge columns and link counters must match the
+# object engine sample-for-sample
+# ---------------------------------------------------------------------------
+
+def _run_with_metrics(engine_cls, algo, schedule=None, cfg_kwargs=None,
+                      cycles=220):
+    from repro.obs import MetricsTimeseries
+    topo = Mesh2D(5, 4)
+    metrics = MetricsTimeseries(stride=1)
+    net = engine_cls(topo, make_algorithm(algo),
+                     config=SimConfig(**(cfg_kwargs or {})),
+                     metrics=metrics)
+    net.stats.digest = DecisionDigest()
+    if schedule is not None:
+        net.schedule_faults(schedule())
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=0.15,
+                                        message_length=4, seed=7))
+    net.run(cycles)
+    return net.stats.summary(topo.n_nodes), metrics.to_dict()
+
+
+@pytest.mark.parametrize("algo,cfg", [
+    ("nafta", {}),
+    ("nafta", {"active_scheduling": True}),
+    ("nara", {}),
+    ("xy", {}),
+], ids=["nafta", "nafta-active-sched", "nara", "xy"])
+def test_metrics_parity_clean(algo, cfg):
+    obj_s, obj_m = _run_with_metrics(Network, algo, cfg_kwargs=cfg)
+    bat_s, bat_m = _run_with_metrics(BatchedNetwork, algo, cfg_kwargs=cfg)
+    assert obj_s == bat_s
+    assert obj_m == bat_m       # columns, link_flits, everything
+
+
+def test_metrics_parity_under_timed_faults():
+    """Fault arrival prunes worms and rebuilds the active set; gauges
+    and link counters must stay in lockstep through it."""
+    def schedule():
+        sched = FaultSchedule()
+        sched.add_link_fault(60, 0, 1)
+        sched.add_node_fault(90, 7)
+        return sched
+    kw = {"fault_mode": "harsh", "retry_limit": 2, "retry_backoff": 8}
+    obj_s, obj_m = _run_with_metrics(Network, "nafta", schedule, kw)
+    bat_s, bat_m = _run_with_metrics(BatchedNetwork, "nafta", schedule, kw)
+    assert obj_s == bat_s
+    assert obj_m == bat_m
+    assert obj_m["link_flits"]  # the run actually moved flits
+
+
+# ---------------------------------------------------------------------------
+# active-set edge cases: the compact occupied-node list must survive
+# worm death, source re-entry and full quiesce/refill without skipping
+# (or double-scanning) a node — divergence shows up in the digest
+# ---------------------------------------------------------------------------
+
+def _digest_run(engine_cls, algo, cfg_kwargs, schedule=None, cycles=300,
+                load=0.15, topo=None):
+    topo = topo or Mesh2D(5, 4)
+    net = engine_cls(topo, make_algorithm(algo),
+                     config=SimConfig(**cfg_kwargs))
+    net.stats.digest = DecisionDigest()
+    if schedule is not None:
+        net.schedule_faults(schedule())
+    net.attach_traffic(TrafficGenerator(topo, "uniform", load=load,
+                                        message_length=4, seed=23))
+    net.run(cycles)
+    return net.stats.summary(topo.n_nodes)
+
+
+def test_active_set_worm_death_mid_route():
+    """Harsh node faults kill worms mid-flight: their nodes must leave
+    the active list exactly when the object engine forgets them."""
+    def schedule():
+        sched = FaultSchedule()
+        sched.add_node_fault(70, 9)
+        sched.add_node_fault(110, 12)
+        sched.add_link_fault(140, 2, 3)
+        return sched
+    kw = {"fault_mode": "harsh", "retry_limit": 2, "retry_backoff": 8}
+    obj = _digest_run(Network, "nafta", kw, schedule)
+    bat = _digest_run(BatchedNetwork, "nafta", kw, schedule)
+    assert obj == bat
+
+
+def test_active_set_retransmission_reentry():
+    """Source retry re-activates a node whose queue had drained; the
+    legacy retransmit_dropped path re-offers in the same cycle."""
+    def schedule():
+        sched = FaultSchedule()
+        sched.add_node_fault(60, 9)
+        return sched
+    kw = {"fault_mode": "harsh", "retransmit_dropped": True}
+    obj = _digest_run(Network, "nafta", kw, schedule)
+    bat = _digest_run(BatchedNetwork, "nafta", kw, schedule)
+    assert obj == bat
+
+
+def test_active_set_quiesce_empty_then_refill():
+    """A timed fault under quiesce drains the network to empty, then
+    traffic refills it: the active list must rebuild from zero."""
+    def schedule():
+        sched = FaultSchedule()
+        sched.add_link_fault(100, 5, 6)
+        return sched
+    kw = {"fault_mode": "quiesce"}
+    # low load so the quiesce drain genuinely empties the mesh
+    obj = _digest_run(Network, "nafta", kw, schedule, cycles=400,
+                      load=0.05)
+    bat = _digest_run(BatchedNetwork, "nafta", kw, schedule, cycles=400,
+                      load=0.05)
+    assert obj == bat
+
+
+# ---------------------------------------------------------------------------
+# build-time clean tables: bit-exact with the table disabled, and
+# correctly bypassed the moment faults are known
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("algo", ["nafta", "nara"])
+def test_clean_table_ab_digest_equality(algo, monkeypatch):
+    """REPRO_BATCHED_NO_TABLE must be behaviorally invisible."""
+    def one(disabled):
+        if disabled:
+            monkeypatch.setenv("REPRO_BATCHED_NO_TABLE", "1")
+        else:
+            monkeypatch.delenv("REPRO_BATCHED_NO_TABLE", raising=False)
+        return _digest_run(BatchedNetwork, algo, {}, cycles=260)
+    assert one(False) == one(True)
+
+
+def test_clean_table_bypassed_under_known_faults(monkeypatch):
+    """With faults known from cycle 0, table and no-table runs must
+    still agree (the table never fires on fault-epoch decisions)."""
+    def schedule():
+        return FaultSchedule.static(links=[(5, 6)])
+    def one(disabled):
+        if disabled:
+            monkeypatch.setenv("REPRO_BATCHED_NO_TABLE", "1")
+        else:
+            monkeypatch.delenv("REPRO_BATCHED_NO_TABLE", raising=False)
+        return _digest_run(BatchedNetwork, "nafta", {}, schedule,
+                           cycles=260)
+    base = one(False)
+    assert base == one(True)
+    # and both match the oracle
+    assert base == _digest_run(Network, "nafta", {}, schedule,
+                               cycles=260)
 
 
 # ---------------------------------------------------------------------------
@@ -166,3 +335,19 @@ def test_conform_cli_engine_flag(capsys):
     out = capsys.readouterr().out
     assert rc == 0, out
     assert "engine batched" in out
+
+
+def test_conform_payload_metrics_invisible():
+    """A stride-1 metrics observer attached via the payload's
+    ``metrics_stride`` key must not perturb digests, and batched runs
+    with metrics must actually run batched (no fallback)."""
+    case = next(iter(generate_cases(["nafta"], 3)))
+    plain = run_case_payload(case.to_dict())
+    sampled = run_case_payload({**case.to_dict(), "metrics_stride": 1})
+    batched = run_case_payload({**case.to_dict(), "engine": "batched",
+                                "metrics_stride": 1})
+    assert sampled["digest"] == plain["digest"]
+    assert batched["digest"] == plain["digest"]
+    assert "metrics_stride" not in sampled["case"]
+    assert sampled["metrics"]["rows"] > 0
+    assert batched["metrics"]["engine"] == "batched"

@@ -205,8 +205,9 @@ def _common(p: argparse.ArgumentParser) -> None:
                    default="object",
                    help="simulation engine: the per-flit object oracle "
                         "or the batched struct-of-arrays engine "
-                        "(bit-identical results; falls back to object "
-                        "when tracing/metrics are attached)")
+                        "(bit-identical results, metrics included; "
+                        "falls back to object only when tracing is "
+                        "attached)")
 
 
 def _obs_args(p: argparse.ArgumentParser) -> None:
