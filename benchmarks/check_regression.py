@@ -1,26 +1,40 @@
-"""Compare a fresh benchmark report against the committed baseline
-(``BENCH_engine.json``) and fail loudly on a throughput regression.
+"""Compare a fresh benchmark report against a committed baseline
+(``BENCH_engine.json``, ``BENCH_reroute.json``) and fail loudly on a
+regression.
 
 CI runs::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
         --quick --out /tmp/bench_quick.json
     python benchmarks/check_regression.py /tmp/bench_quick.json
+    PYTHONPATH=src python benchmarks/bench_reroute.py \
+        --quick --out /tmp/bench_reroute.json
+    python benchmarks/check_regression.py /tmp/bench_reroute.json \
+        --baseline BENCH_reroute.json
 
-Only rate metrics (decisions/sec, cycles/sec) are compared — wall-clock
-totals depend on repeat counts, which differ between ``--quick`` and the
-full run that produced the baseline. A metric regresses when it drops
-more than ``--threshold`` (default 30%) below the baseline; improvements
-never fail. The wide threshold absorbs runner-to-runner variance while
-still catching the "accidentally interpreted the hot loop" class of
-mistake — a genuine 2x slowdown trips it with a wide margin.
+Wall-clock totals are never compared — repeat counts differ between
+``--quick`` and the full run that produced the baseline. Two metric
+directions exist:
 
-If a slowdown is intentional (a feature that trades throughput for
+* **higher-is-better** (rates: decisions/sec, cycles/sec, speedups) —
+  a metric regresses when it drops more than ``--threshold`` (default
+  30%) below the baseline; improvements never fail. The wide threshold
+  absorbs runner-to-runner variance while still catching the
+  "accidentally interpreted the hot loop" class of mistake — a genuine
+  2x slowdown trips it with a wide margin.
+* **lower-is-better** (recovery gaps: ``reroute.cycles_of_loss``,
+  ``reroute.time_to_recover_cycles``) — a metric regresses when it
+  *rises* past the threshold; and because these are deterministic
+  counts (not noisy rates), a zero baseline is held exactly: any
+  nonzero current value fails.
+
+If a regression is intentional (a feature that trades the metric for
 capability), refresh the baseline instead of raising the threshold::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_reroute.py
 
-and commit the updated ``BENCH_engine.json`` with a note in the PR body
+and commit the updated baseline JSON with a note in the PR body
 explaining the accepted cost.
 """
 
@@ -31,22 +45,33 @@ import json
 import pathlib
 import sys
 
-#: (dotted path into the report, short label) — rates only, see module doc
+#: (dotted path into the report, short label, direction) where
+#: direction is "higher" (rates) or "lower" (gaps) — see module doc
 TRACKED = (
-    ("decision_throughput.fastpath_decisions_per_sec", "fastpath decisions/sec"),
-    ("decision_throughput.legacy_decisions_per_sec", "interpreted decisions/sec"),
+    ("decision_throughput.fastpath_decisions_per_sec",
+     "fastpath decisions/sec", "higher"),
+    ("decision_throughput.legacy_decisions_per_sec",
+     "interpreted decisions/sec", "higher"),
     ("simulation_throughput_low_load.active_cycles_per_sec",
-     "sim cycles/sec (low load)"),
+     "sim cycles/sec (low load)", "higher"),
     ("simulation_throughput_moderate_load.active_cycles_per_sec",
-     "sim cycles/sec (moderate load)"),
-    ("batched_engine.cycles_per_sec", "batched engine cycles/sec"),
+     "sim cycles/sec (moderate load)", "higher"),
+    ("batched_engine.cycles_per_sec", "batched engine cycles/sec",
+     "higher"),
     # large-mesh speedups are ratios, not rates, but regress the same
     # way: a drop means the batched data path lost ground to the object
     # oracle on the fabrics it exists for (64x64 only appears in full
     # reports, so quick runs skip it)
-    ("large_mesh.speedup_32x32", "large-mesh 32x32 speedup"),
-    ("large_mesh.speedup_64x64", "large-mesh 64x64 speedup"),
-    ("hypercube.cycles_per_sec", "hypercube batched cycles/sec"),
+    ("large_mesh.speedup_32x32", "large-mesh 32x32 speedup", "higher"),
+    ("large_mesh.speedup_64x64", "large-mesh 64x64 speedup", "higher"),
+    ("hypercube.cycles_per_sec", "hypercube batched cycles/sec",
+     "higher"),
+    # fast-reroute recovery gaps (BENCH_reroute.json): cycles of
+    # routing outage per chaos campaign — growth means the backup
+    # tables stopped arming (or stopped applying) somewhere
+    ("reroute.cycles_of_loss", "reroute loss-window cycles", "lower"),
+    ("reroute.time_to_recover_cycles",
+     "reroute worst recovery gap (cycles)", "lower"),
 )
 
 DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / \
@@ -67,23 +92,41 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     tracked metric regressed past the threshold."""
     rows = []
     failures = []
-    for dotted, label in TRACKED:
+    for dotted, label, direction in TRACKED:
         base = lookup(baseline, dotted)
         cur = lookup(current, dotted)
         if base is None or cur is None:
-            rows.append(f"  {label:<32} (missing — skipped)")
+            rows.append(f"  {label:<38} (missing — skipped)")
             continue
-        ratio = cur / base
         mark = "ok"
-        if ratio < 1.0 - threshold:
-            mark = "REGRESSION"
-            failures.append(
-                f"{label}: {cur:,.0f}/sec is {1 - ratio:.0%} below the "
-                f"baseline {base:,.0f}/sec (allowed: {threshold:.0%})"
-            )
+        if direction == "lower" and base == 0.0:
+            # deterministic count with a perfect baseline: hold exactly
+            ratio_text = "zero-base"
+            if cur > 0.0:
+                mark = "REGRESSION"
+                failures.append(
+                    f"{label}: {cur:,.0f} vs a zero baseline — any "
+                    f"nonzero value is a regression"
+                )
+        else:
+            ratio = cur / base
+            ratio_text = f"{ratio:.0%} of baseline"
+            if direction == "higher" and ratio < 1.0 - threshold:
+                mark = "REGRESSION"
+                failures.append(
+                    f"{label}: {cur:,.0f} is {1 - ratio:.0%} below the "
+                    f"baseline {base:,.0f} (allowed: {threshold:.0%})"
+                )
+            elif direction == "lower" and ratio > 1.0 + threshold:
+                mark = "REGRESSION"
+                failures.append(
+                    f"{label}: {cur:,.0f} is {ratio - 1:.0%} above the "
+                    f"baseline {base:,.0f} (allowed: {threshold:.0%}; "
+                    f"lower is better)"
+                )
         rows.append(
-            f"  {label:<32} {cur:>12,.0f}/sec  vs {base:>12,.0f}/sec  "
-            f"({ratio:.0%} of baseline)  {mark}"
+            f"  {label:<38} {cur:>12,.0f}  vs {base:>12,.0f}  "
+            f"({ratio_text})  {mark}"
         )
     print(f"benchmark regression check (threshold {threshold:.0%}):")
     for row in rows:
@@ -111,15 +154,16 @@ def main(argv=None) -> int:
         baseline = baseline["quick_reference"]
     failures = compare(baseline, current, args.threshold)
     if failures:
-        print("\nFAIL: throughput regressed past the tolerated threshold:",
-              file=sys.stderr)
+        print("\nFAIL: tracked metrics regressed past the tolerated "
+              "threshold:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         print(
-            "\nIf this slowdown is intentional, regenerate the baseline\n"
-            "(PYTHONPATH=src python benchmarks/bench_engine_throughput.py)\n"
-            "and commit BENCH_engine.json with a PR note explaining the\n"
-            "accepted cost. Do not raise --threshold to make CI pass.",
+            "\nIf this regression is intentional, regenerate the baseline\n"
+            "(PYTHONPATH=src python benchmarks/bench_engine_throughput.py\n"
+            "or benchmarks/bench_reroute.py) and commit the updated JSON\n"
+            "with a PR note explaining the accepted cost. Do not raise\n"
+            "--threshold to make CI pass.",
             file=sys.stderr,
         )
         return 1

@@ -49,7 +49,8 @@ def make_scenario(index: int, *, width: int = 8, height: int = 8,
                   detection_delay: int = 40,
                   diagnosis_hop_delay: int = 2,
                   retry_limit: int = 6, retry_backoff: int = 16,
-                  hop_budget: int = 0, trace: bool = False,
+                  hop_budget: int = 0, backup_routes: bool = False,
+                  trace: bool = False,
                   trace_capacity: int = 65536,
                   metrics_stride: int = 0,
                   engine: str = "object") -> WorkloadSpec:
@@ -77,7 +78,8 @@ def make_scenario(index: int, *, width: int = 8, height: int = 8,
         fault_mode="harsh", detection_delay=detection_delay,
         diagnosis_hop_delay=diagnosis_hop_delay,
         retry_limit=retry_limit, retry_backoff=retry_backoff,
-        hop_budget=hop_budget, drain=True, trace=trace,
+        hop_budget=hop_budget, backup_routes=backup_routes,
+        drain=True, trace=trace,
         trace_capacity=trace_capacity, metrics_stride=metrics_stride,
         engine=engine)
 
@@ -115,6 +117,10 @@ def run_campaign(n_scenarios: int = 20, *, workers: int = 0,
             "mean_time_to_recover": res["mean_time_to_recover"],
             "max_time_to_recover": res["max_time_to_recover"],
             "mean_latency": res["mean_latency"],
+            # recovery gap (present whenever detection/diagnosis delays
+            # are configured — i.e. for every default campaign)
+            "cycles_of_loss": res.get("cycles_of_loss", 0),
+            "fault_events": res.get("fault_events", []),
         })
     created = sum(s["created_logical"] for s in scenarios)
     delivered = sum(s["delivered_logical"] for s in scenarios)
@@ -132,6 +138,7 @@ def run_campaign(n_scenarios: int = 20, *, workers: int = 0,
                                  if s["deadlocked"]],
         "max_time_to_recover": max(
             (s["max_time_to_recover"] for s in scenarios), default=0),
+        "cycles_of_loss": sum(s["cycles_of_loss"] for s in scenarios),
     }
     return report
 
@@ -140,7 +147,7 @@ def campaign_table(report: dict) -> str:
     """Human-readable per-scenario table plus the aggregate line."""
     head = (f"{'#':>3} {'faults':>6} {'created':>8} {'deliv':>6} "
             f"{'retry':>6} {'recov':>6} {'dead':>5} {'silent':>6} "
-            f"{'maxTTR':>7}")
+            f"{'maxTTR':>7} {'lossCyc':>7}")
     lines = [head, "-" * len(head)]
     for s in report["scenarios"]:
         lines.append(
@@ -148,7 +155,8 @@ def campaign_table(report: dict) -> str:
             f"{s['created_logical']:>8} {s['delivered_logical']:>6} "
             f"{s['retried']:>6} {s['recovered']:>6} "
             f"{s['dead_lettered']:>5} {s['silent_loss']:>6} "
-            f"{s['max_time_to_recover']:>7}")
+            f"{s['max_time_to_recover']:>7} "
+            f"{s.get('cycles_of_loss', 0):>7}")
     lines.append("-" * len(head))
     lines.append(
         f"total: {report['created_logical']} logical messages, "
@@ -156,7 +164,8 @@ def campaign_table(report: dict) -> str:
         f"({report['delivery_rate']:.4%}), "
         f"{report['retried']} retried, {report['recovered']} recovered, "
         f"{report['dead_lettered']} dead-lettered, "
-        f"{report['silent_loss']} silent loss")
+        f"{report['silent_loss']} silent loss, "
+        f"{report.get('cycles_of_loss', 0)} loss-window cycles")
     if report["deadlocked_scenarios"]:
         lines.append("DEADLOCKED scenarios: "
                      f"{report['deadlocked_scenarios']}")

@@ -59,6 +59,8 @@ class WorkloadSpec:
     retry_limit: int = 0
     retry_backoff: int = 16
     hop_budget: int = 0
+    #: LFA-style fast reroute (precompiled backup subbases; harsh mode)
+    backup_routes: bool = False
     #: mid-flight faults: (cycle, "link", (a, b)) / (cycle, "node", n)
     timed_faults: list = field(default_factory=list)
     # -- observability (repro.obs; all off by default) -----------------
@@ -113,6 +115,9 @@ class WorkloadSpec:
             "retry_limit": int(self.retry_limit),
             "retry_backoff": int(self.retry_backoff),
             "hop_budget": int(self.hop_budget),
+            # emitted only when on, like "engine": pre-existing cached
+            # spec_keys stay valid and False === absent
+            **({"backup_routes": True} if self.backup_routes else {}),
             "timed_faults": sorted(
                 [int(cycle), "link",
                  [min(int(t[0]), int(t[1])), max(int(t[0]), int(t[1]))]]
@@ -151,6 +156,7 @@ class WorkloadSpec:
             retry_limit=int(d.get("retry_limit", 0)),
             retry_backoff=int(d.get("retry_backoff", 16)),
             hop_budget=int(d.get("hop_budget", 0)),
+            backup_routes=bool(d.get("backup_routes", False)),
             timed_faults=[
                 (int(cycle), kind,
                  (int(t[0]), int(t[1])) if kind == "link" else int(t))
@@ -192,6 +198,7 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
                     retry_limit=spec.retry_limit,
                     retry_backoff=spec.retry_backoff,
                     hop_budget=spec.hop_budget,
+                    backup_routes=spec.backup_routes,
                     engine=spec.engine)
     algo = make_algorithm(spec.algorithm)
     tracer = metrics = None
@@ -233,6 +240,9 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
     out["undelivered"] = len(net.undelivered())
     out["n_faults"] = net.faults.n_faults()
     out.update(_logical_accounting(net))
+    if spec.fault_mode == "harsh" and (spec.detection_delay
+                                       or spec.diagnosis_hop_delay):
+        out.update(_recovery_gaps(net))
     if tracer is not None:
         # a raw blob, not Chrome format: plain-JSON results survive the
         # process pool and the content-addressed cache unchanged, and
@@ -266,6 +276,26 @@ def _logical_accounting(net: Network) -> dict:
         "messages_delivered_logical": len(delivered),
         "silent_loss": len(roots - delivered - dead),
     }
+
+
+def _recovery_gaps(net: Network) -> dict:
+    """Per-fault recovery gaps from the network's fault log.  The
+    *loss window* of a fault is the stretch during which messages can
+    still die against it: up to local confirmation (fault + detection
+    delay) when the fast-reroute backups take over at that point, up to
+    global convergence of the notification flood otherwise.
+    ``cycles_of_loss`` sums the windows — the recovery-gap figure the
+    chaos campaigns and the CI lane gate on."""
+    events = []
+    loss = 0
+    for rec in net.fault_log:
+        end = rec["confirmed"] if rec["fast_reroute"] else rec["converged"]
+        if end is None:            # still outstanding when the run ended
+            end = net.cycle
+        gap = int(end) - int(rec["cycle"])
+        events.append({**rec, "loss_window": gap})
+        loss += gap
+    return {"fault_events": events, "cycles_of_loss": loss}
 
 
 def _sweep(specs: list[WorkloadSpec], label: str, workers: int,

@@ -25,6 +25,10 @@ WORM_DROP = "worm.drop"  # ripped up by a harsh-mode fault
 WORM_STUCK = "worm.stuck"  # declared permanently unroutable
 WORM_RETRY = "worm.retry"  # retransmission copy queued at the source
 WORM_DEAD_LETTER = "worm.dead_letter"  # retry budget exhausted / cut off
+WORM_HEALED = "worm.healed"  # split at a dead link: fragment finished,
+#                              remainder re-injected (fast reroute)
+WORM_ABSORBED = "worm.absorbed"  # stuck worm absorbed for a delayed
+#                                  local re-injection (fast reroute)
 
 # -- link arbitration -------------------------------------------------------
 LINK_ARB = "link.arb"  # contended output port granted

@@ -2,6 +2,7 @@
 stripped nft variant), oblivious baselines, and the spanning-tree
 baseline of Section 2.1."""
 
+from .backup import FastReroute, NEUTRAL_FIELDS
 from .base import RouteDecision, RoutingAlgorithm, RoutingError
 from .dimension_order import ECubeRouting, TorusDatelineXY, XYRouting
 from .duato import DuatoMeshRouting
@@ -18,6 +19,7 @@ from .spanning_tree import SpanningTreeRouting
 from .updown import UpDownRouting
 
 __all__ = [
+    "FastReroute", "NEUTRAL_FIELDS",
     "RouteDecision", "RoutingAlgorithm", "RoutingError",
     "ECubeRouting", "TorusDatelineXY", "XYRouting", "DuatoMeshRouting",
     "KAryNCubeDOR",

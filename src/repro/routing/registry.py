@@ -37,13 +37,29 @@ ALGORITHMS: dict[str, Callable[[], RoutingAlgorithm]] = {
 }
 
 
-def make_algorithm(name: str, **kwargs) -> RoutingAlgorithm:
+def make_algorithm(name: str, *, topology=None, **kwargs) -> RoutingAlgorithm:
     """Instantiate a registered algorithm.
 
     Extra keyword arguments are forwarded to the factory — used by the
     conformance harness to select interpreter variants on the
     rule-driven algorithms (``engine_mode=``, ``fastpath=``).
+
+    A ``"<name>+frr"`` spelling wraps the named algorithm in
+    :class:`~repro.routing.backup.FastReroute` (precompiled backup
+    next-hop tables, activated per link on local fault confirmation);
+    it needs ``topology=`` because the backup tables are compiled
+    against a concrete network.  The simulator reaches the same wrapper
+    through ``SimConfig(backup_routes=True)``, which handles topology
+    plumbing itself.
     """
+    if name.endswith("+frr"):
+        if topology is None:
+            raise ValueError(
+                f"{name!r} needs topology= (backup tables are compiled "
+                f"per topology); or use SimConfig(backup_routes=True)")
+        from .backup import FastReroute
+        inner = make_algorithm(name[: -len("+frr")], **kwargs)
+        return FastReroute(inner, topology)
     try:
         factory = ALGORITHMS[name]
     except KeyError:

@@ -419,6 +419,11 @@ class RuleDrivenRouteC(RoutingAlgorithm):
         out_vc = int(res_vc.returned)
         if detour:
             header.mark_misrouted()
+            # the "_" prefix marks this as per-decision scratch: it is
+            # recomputed by every route() call and consumed by the same
+            # decision's on_depart, so backup-aware dispatch
+            # (routing/backup.py) may discard it when substituting a
+            # precompiled entry — only ``vc_class`` is committed state
             header.fields["_detour_next"] = True
         return RouteDecision(candidates=[(d, out_vc) for d in ordered],
                              steps=2)

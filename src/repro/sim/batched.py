@@ -1216,7 +1216,7 @@ class BatchedNetwork(Network):
 
 
 def batched_fallback_reason(arbiter="round_robin", tracer=None,
-                            metrics=None) -> str | None:
+                            metrics=None, config=None) -> str | None:
     """Why ``engine="batched"`` would fall back to the object engine
     for this configuration — None when the batched engine applies.
 
@@ -1229,6 +1229,9 @@ def batched_fallback_reason(arbiter="round_robin", tracer=None,
     (the ``metrics`` parameter is kept for call-site compatibility)."""
     if tracer is not None and getattr(tracer, "enabled", True):
         return "tracing is enabled (the batched data path emits no events)"
+    if config is not None and config.backup_routes:
+        return ("backup_routes is enabled (fast-reroute healing walks "
+                "per-flit worm state the batched arrays do not model)")
     if isinstance(arbiter, Arbiter):
         if type(arbiter) is not Arbiter:
             return (f"arbiter {arbiter.name!r} is not the stock "
@@ -1254,7 +1257,7 @@ def build_network(topology, algorithm, config: SimConfig | None = None,
     without holding the network object."""
     cfg = config or SimConfig()
     if cfg.engine == "batched":
-        reason = batched_fallback_reason(arbiter, tracer, metrics)
+        reason = batched_fallback_reason(arbiter, tracer, metrics, cfg)
         if reason is None:
             return BatchedNetwork(topology, algorithm, cfg,
                                   arbiter=arbiter, metrics=metrics)

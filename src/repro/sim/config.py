@@ -42,6 +42,13 @@ class SimConfig:
     hop_budget: int = 0            # livelock guard: a message exceeding
     #                                this many hops is declared stuck
     #                                (0 = disabled)
+    backup_routes: bool = False    # LFA-style fast reroute: precompile
+    #                                per-node backup subbases against
+    #                                each local link fault, heal worms
+    #                                caught on a dying link and re-inject
+    #                                locally (harsh mode only; link
+    #                                faults — node faults keep the
+    #                                rip-up/retry slow path)
     trace_paths: bool = False      # record per-message node paths
     deadlock_threshold: int = 2000  # cycles without progress => deadlock
     active_scheduling: bool = True  # iterate only routers holding flits
@@ -79,6 +86,10 @@ class SimConfig:
             raise ValueError("retry_backoff must be >= 1 cycle")
         if self.hop_budget < 0:
             raise ValueError("hop_budget must be >= 0")
+        if self.backup_routes and self.fault_mode != "harsh":
+            raise ValueError("backup_routes needs fault_mode='harsh' "
+                             "(quiesce mode loses no messages, so there "
+                             "is no recovery gap to close)")
         if self.engine not in ("object", "batched"):
             raise ValueError(f"unknown engine {self.engine!r}; "
                              f"choose 'object' or 'batched'")

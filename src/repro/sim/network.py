@@ -44,7 +44,7 @@ from .config import SimConfig
 from .diagnosis import DiagnosisEngine
 from .faults import FaultEvent, FaultSchedule, FaultState
 from .flit import Flit, Message
-from .router import LOCAL, Router
+from .router import ACTIVE, IDLE, LOCAL, Router
 from .stats import StatsCollector
 from .arbiter import Arbiter, make_arbiter
 from .topology import Topology
@@ -102,6 +102,14 @@ class Network:
         self.topology = topology
         self.algorithm = algorithm
         self.config = config or SimConfig()
+        if self.config.backup_routes:
+            # LFA-style fast reroute: wrap the algorithm with its
+            # precompiled backup subbases now — before any failure —
+            # so _confirm_fault can arm them with a pure set insert
+            from ..routing.backup import FastReroute
+            if not isinstance(algorithm, FastReroute):
+                algorithm = FastReroute(algorithm, topology)
+            self.algorithm = algorithm
         # observability (see repro.obs): the tracer is always present —
         # NULL_TRACER's enabled=False keeps every emission site to one
         # attribute check; metrics is None unless a timeseries is
@@ -135,7 +143,17 @@ class Network:
         #: root msg_ids that exhausted their retry budget (or whose
         #: source can never learn of / route around the fault)
         self.dead_letters: list[int] = []
+        #: per dynamic harsh-mode fault: occurrence, confirmation
+        #: (detection at the site) and convergence (global knowledge)
+        #: cycles — the raw material of the recovery-gap metrics
+        self.fault_log: list[dict] = []
+        self._fault_log_ix: dict = {}
         self.stats = StatsCollector()
+        if self.config.backup_routes:
+            # conditional so summaries of non-backup runs stay
+            # bit-identical (same convention as engine_fallback)
+            self.stats.reroute = {"worms_healed": 0, "worms_absorbed": 0,
+                                  "backup_route_decisions": 0}
         if metrics is not None:
             # summaries grow a "metrics" key only when a timeseries is
             # attached — the unobserved summary stays bit-identical
@@ -349,6 +367,13 @@ class Network:
                             nodes_reached=len(reached),
                             **_fault_payload(ev))
                 self.algorithm.on_fault_update(self, nodes=reached)
+                rec = self._fault_log_ix.get(ev)
+                if rec is not None:
+                    rec["converged"] = self.cycle
+                if self.config.backup_routes and ev.kind == "link":
+                    # slow path converged: the globally reconfigured
+                    # primary rules replace the backup subbase
+                    self.algorithm.disarm(ev.target)
         if self._pending_retries:
             self._release_due_retries()
         moved = self._advance(with_traffic=True)
@@ -499,6 +524,14 @@ class Network:
             return
         # harsh mode: the physical fault is immediate ...
         self._apply_fault_now(event)
+        rec = {"kind": event.kind,
+               "target": (list(event.target) if event.kind == "link"
+                          else int(event.target)),
+               "cycle": self.cycle, "confirmed": None, "converged": None,
+               "fast_reroute": bool(self.config.backup_routes
+                                    and event.kind == "link")}
+        self.fault_log.append(rec)
+        self._fault_log_ix[event] = rec
         if self.config.detection_delay:
             # ... but the routers only learn of it after the heartbeat
             # timeout; worms caught on the link stall until then
@@ -515,12 +548,25 @@ class Network:
         tr = self.tracer
         if tr.enabled:
             tr.emit(trace_ev.FAULT_DETECT, **_fault_payload(event))
+        rec = self._fault_log_ix.get(event)
+        if rec is not None:
+            rec["confirmed"] = self.cycle
+        backups = self.config.backup_routes and event.kind == "link"
+        if backups:
+            # fast path: the endpoints switch to the precompiled backup
+            # subbase the moment detection completes — no flooding
+            # round-trip.  Worms caught on the link are healed and
+            # locally re-injected instead of ripped up.
+            self.algorithm.arm(event.target)
         if self.diagnosis is not None:
             # flood first: rip-up schedules retries against the flood's
             # per-node arrival times (a source can only react to a fault
             # once its own view has heard of it)
             self.diagnosis.start_flood(event, self.cycle)
-        self._rip_up_worms(event)
+        if backups:
+            self._heal_worms(event)
+        else:
+            self._rip_up_worms(event)
         self._last_progress = self.cycle   # diagnosis progress counts
         if self.diagnosis is not None:
             # known_faults/route_epoch update when the flood converges
@@ -529,6 +575,10 @@ class Network:
             self.known_faults.apply(event)
         self.route_epoch += 1
         self.algorithm.on_fault_update(self)
+        if rec is not None:
+            rec["converged"] = self.cycle
+        if backups:
+            self.algorithm.disarm(event.target)
 
     def _apply_fault_now(self, event) -> None:
         tr = self.tracer
@@ -590,10 +640,213 @@ class Network:
         for msg_id in victims:
             self.drop_message(msg_id, event=event)
 
+    # -- fast reroute: worm healing + local re-injection ---------------------
+
+    def _heal_worms(self, event) -> None:
+        """Fast-reroute counterpart of :meth:`_rip_up_worms` for a link
+        fault: every worm caught mid-flight on the dead link is *split*
+        at the break instead of killed.  The downstream fragment gets a
+        dummy tail and finishes its journey (flits already past the
+        break are not lost); the upstream remainder is absorbed and
+        locally re-injected at the detecting endpoint as a fresh
+        logical message, which the armed backup subbase routes around
+        the fault."""
+        a, b = event.target
+        for node, far in ((a, b), (b, a)):
+            router = self.routers[node]
+            for pid, port in router.ports.items():
+                if port.neighbor != far:
+                    continue
+                for iv in router._ivs:
+                    if iv.state == ACTIVE and iv.out_port == pid \
+                            and iv.header is not None:
+                        self._heal_one(router, iv)
+
+    def _heal_one(self, router, iv) -> None:
+        msg_id = iv.header.msg_id
+        msg = self.messages.get(msg_id)
+        if msg is None:  # pragma: no cover - defensive
+            return
+        self._finish_fragment(router, iv, msg)
+        n_rem = self._absorb_remainder(router, iv, msg_id)
+        self._load_token += 1
+        rr = self.stats.reroute
+        if rr is not None:
+            rr["worms_healed"] += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(trace_ev.WORM_HEALED, msg_id=msg_id,
+                    node=router.node, remainder_flits=n_rem)
+        fields = msg.header.fields
+        copy = self.offer(
+            router.node, msg.header.dst, n_rem + 1,
+            healed_from=msg_id,
+            first_dropped=int(fields.get("first_dropped", self.cycle)),
+            orig_created=int(fields.get("orig_created",
+                                        msg.header.created)))
+        if copy is None:
+            # the endpoint cannot re-inject (destination believed
+            # dead / algorithm refusal): give up loudly, never silently
+            self._dead_letter(int(fields.get("root_id", msg_id)))
+
+    def _finish_fragment(self, router, iv, msg) -> None:
+        """Walk the worm's occupancy chain beyond the break; mark its
+        rearmost surviving flit as the tail so the fragment delivers
+        and releases its channels normally.  Chain input VCs upstream
+        of every remaining fragment flit would wait forever for flits
+        that died with the link — force-release those.  When no
+        fragment flit remains anywhere (everything but the tail was
+        already ejected at the destination), the message is complete in
+        all but name: mark it delivered."""
+        msg_id = msg.header.msg_id
+        chain: list[tuple] = []
+        step = router._down.get(iv.out_port)
+        if step is None:  # pragma: no cover - defensive
+            return
+        cur_r, cur_iv = step[0], step[1][iv.out_vc]
+        while True:
+            ours = (cur_iv.header is not None
+                    and cur_iv.header.msg_id == msg_id)
+            holds = any(f.msg_id == msg_id
+                        for f in list(cur_iv.buffer) + cur_iv.incoming)
+            if not ours and not holds:
+                break
+            chain.append((cur_r, cur_iv))
+            if not (ours and cur_iv.state == ACTIVE) \
+                    or cur_iv.out_port in (LOCAL, None):
+                break
+            nxt = cur_r._down.get(cur_iv.out_port)
+            if nxt is None:  # pragma: no cover - defensive
+                break
+            cur_r, cur_iv = nxt[0], nxt[1][cur_iv.out_vc]
+        for i, (r, civ) in enumerate(chain):
+            flits = [f for f in list(civ.buffer) + civ.incoming
+                     if f.msg_id == msg_id]
+            if flits:
+                flits[-1].is_tail = True
+                for rr_, dead_iv in chain[:i]:
+                    self._force_release(rr_, dead_iv)
+                return
+        for r, civ in chain:
+            self._force_release(r, civ)
+        if not msg.delivered:
+            msg.delivered = self.cycle
+            msg.hops = msg.header.path_len
+            self.stats.count_message(msg)
+
+    def _absorb_remainder(self, router, iv, msg_id: int) -> int:
+        """Remove the upstream remainder of a split worm — every flit
+        behind the break, the channels it holds, and any flits still
+        waiting at the source — and return how many flits were
+        absorbed."""
+        n_rem = 0
+        cur_r, cur_iv = router, iv
+        while True:
+            before = len(cur_iv.buffer) + len(cur_iv.incoming)
+            cur_iv.buffer = deque(
+                f for f in cur_iv.buffer if f.msg_id != msg_id)
+            cur_iv.incoming = [
+                f for f in cur_iv.incoming if f.msg_id != msg_id]
+            removed = before - len(cur_iv.buffer) - len(cur_iv.incoming)
+            n_rem += removed
+            cur_r.n_flits -= removed
+            in_port, in_vc = cur_iv.port, cur_iv.vc
+            self._force_release(cur_r, cur_iv)
+            if in_port == LOCAL:
+                src = self.sources[cur_r.node]
+                if src.current_msg is not None \
+                        and src.current_msg.header.msg_id == msg_id:
+                    n_rem += len(src.current)
+                    src.current = []
+                    src.current_msg = None
+                return n_rem
+            port = cur_r.ports[in_port]
+            up_r = self.routers[port.neighbor]
+            up_iv = next(
+                (c for c in up_r._ivs
+                 if c.state == ACTIVE and c.header is not None
+                 and c.header.msg_id == msg_id
+                 and c.out_port == port.neighbor_port
+                 and c.out_vc == in_vc), None)
+            if up_iv is None:
+                # the tail already crossed into the VCs we cleaned:
+                # nothing of the worm remains further upstream
+                return n_rem
+            cur_r, cur_iv = up_r, up_iv
+
+    def _force_release(self, router, iv) -> None:
+        if iv.out_port is not None and iv.out_vc is not None:
+            ov = router.output_vcs[iv.out_port][iv.out_vc]
+            if ov.owner == (iv.port, iv.vc):
+                ov.owner = None
+        iv.release_worm()
+
+    def _absorb_and_reinject(self, msg: Message) -> None:
+        """Backup-mode handling of a worm the algorithm declared stuck
+        (typically mid-flight, against a remote fault its local
+        knowledge has not converged on): absorb the whole worm where it
+        stands and schedule a local re-injection with backoff, so the
+        retry meets a (more) converged view.  A bounded number of local
+        retries keeps livelock impossible; exhaustion dead-letters
+        loudly."""
+        msg_id = msg.header.msg_id
+        where = msg.header.src
+        for r in self.routers:
+            for civ in r._ivs:
+                if (civ.header is not None
+                        and civ.header.msg_id == msg_id
+                        and civ.state != ACTIVE) \
+                        or (civ.state == IDLE and civ.buffer
+                            and civ.buffer[0].msg_id == msg_id
+                            and civ.buffer[0].is_head):
+                    where = r.node
+                    break
+        for r in self.routers:
+            r.purge_message(msg_id)
+        src = self.sources[msg.header.src]
+        if src.current_msg is msg:
+            src.current = []
+            src.current_msg = None
+        msg.dropped = True
+        msg.header.fields["stuck"] = True
+        self.stats.messages_stuck += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(trace_ev.WORM_STUCK, msg_id=msg_id)
+        fields = msg.header.fields
+        root = int(fields.get("root_id", msg_id))
+        retries = int(fields.get("local_retries", 0))
+        if retries >= 3:
+            self._dead_letter(root)
+            return
+        rr = self.stats.reroute
+        if rr is not None:
+            rr["worms_absorbed"] += 1
+        if tr.enabled:
+            tr.emit(trace_ev.WORM_ABSORBED, msg_id=msg_id, node=where,
+                    retries=retries + 1)
+        carry = {
+            "retry_of": msg_id,
+            "root_id": root,
+            "local_retries": retries + 1,
+            "first_dropped": int(fields.get("first_dropped", self.cycle)),
+            "orig_created": int(fields.get("orig_created",
+                                           msg.header.created)),
+        }
+        release = self.cycle + self.config.retry_backoff * (1 << retries)
+        heappush(self._pending_retries,
+                 (release, next(self._retry_seq), where,
+                  msg.header.dst, msg.header.length, carry))
+
     def message_stuck(self, msg_id: int) -> None:
         """The routing algorithm declared a message permanently
         unroutable mid-flight (Condition-3 violation): remove it and
         count it separately from fault-ripped drops."""
+        if self.config.backup_routes:
+            msg_ = self.messages.get(msg_id)
+            if msg_ is not None and not msg_.delivered:
+                self._absorb_and_reinject(msg_)
+                return
         for r in self.routers:
             r.purge_message(msg_id)
         msg = self.messages.get(msg_id)

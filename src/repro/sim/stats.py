@@ -86,6 +86,11 @@ class StatsCollector:
     #: None — and no summary key — when no fallback happened, so
     #: unaffected summaries stay bit-identical)
     engine_fallback: str | None = None
+    #: fast-reroute counters (set by the network only when
+    #: ``backup_routes`` is on; None keeps every other summary
+    #: bit-identical): worms_healed, worms_absorbed,
+    #: backup_route_decisions
+    reroute: dict | None = None
 
     # -- recording -----------------------------------------------------
 
@@ -192,6 +197,8 @@ class StatsCollector:
             out["decision_digest_count"] = self.digest.count
         if self.engine_fallback is not None:
             out["engine_fallback"] = self.engine_fallback
+        if self.reroute is not None:
+            out["reroute"] = dict(self.reroute)
         return out
 
     def _summary(self, n_nodes: int) -> dict:

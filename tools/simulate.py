@@ -148,8 +148,10 @@ def cmd_campaign(args) -> int:
         warmup=args.warmup, seed=args.seed,
         detection_delay=args.detection_delay,
         diagnosis_hop_delay=args.diagnosis_hop_delay,
-        retry_limit=args.retry_limit, retry_backoff=args.retry_backoff,
-        hop_budget=args.hop_budget, engine=args.engine, **obs)
+        retry_limit=0 if args.no_retry else args.retry_limit,
+        retry_backoff=args.retry_backoff,
+        hop_budget=args.hop_budget, backup_routes=args.backups == "on",
+        engine=args.engine, **obs)
     # traces/metrics are pulled out of the report (they would dwarf the
     # reliability numbers in --json); the Chrome export is scenario 0 —
     # one run per trace document, as the trace_event format expects
@@ -246,6 +248,15 @@ def main(argv=None) -> int:
     camp_p.add_argument("--strict", action="store_true",
                         help="exit 1 on any silent loss, dead letter "
                              "or deadlock")
+    camp_p.add_argument("--no-retry", action="store_true",
+                        help="disable source retransmission "
+                             "(retry_limit=0): isolates what fast "
+                             "reroute alone recovers")
+    camp_p.add_argument("--backups", choices=["on", "off"], default="off",
+                        help="precompiled backup next-hop tables: "
+                             "activate LFA-style fast reroute on local "
+                             "link-fault confirmation "
+                             "(docs/ROBUSTNESS.md)")
 
     trace_p = sub.add_parser(
         "trace", help="one traced run: Chrome trace JSON + metrics")
