@@ -1,0 +1,201 @@
+"""Adversarial load-balance sweep: selection policy x traffic pattern
+x fault load.
+
+The pluggable output-selection policies (``repro.routing.select``,
+docs/PERFORMANCE.md) choose among the legal candidate outputs a
+routing algorithm certifies; this benchmark measures what that choice
+is worth under traffic that punishes bad balancing.  Every
+(policy, pattern, fault-load) cell runs the same seeded workload near
+saturation through the sweep pool and reports:
+
+* accepted throughput (flits/node/cycle) — the saturation measure;
+* mean latency of the measured window;
+* **link imbalance** — max over the fabric's directed links of the
+  per-link flit count, divided by the mean over all alive directed
+  links (from the obs layer's per-link flit counters).  1.0 is a
+  perfectly even fabric; a policy that dumps every worm onto one
+  trunk scores high.
+
+The committed ``BENCH_loadbalance.json`` is the CI baseline:
+``check_regression.py`` holds the per-policy mean throughputs
+(higher-is-better) and the imbalance aggregates (lower-is-better) to
+it, quick runs against its ``quick_reference`` section.  All cells are
+deterministic for a given seed — the sweep is bit-reproducible.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_loadbalance.py
+    PYTHONPATH=src python benchmarks/bench_loadbalance.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+
+from repro.experiments import WorkloadSpec, run_sweep
+from repro.sim import Mesh2D, random_link_faults
+
+POLICIES = ("deterministic", "ecmp", "flowlet", "credit")
+
+#: near-saturation offered load per pattern (8x8 mesh, nafta): high
+#: enough that accepted throughput — not offered load — is measured
+FULL = dict(width=8, height=8, algorithm="nafta", load=0.30,
+            message_length=4, cycles=1200, warmup=200, seed=11,
+            patterns=("transpose", "hotspot", "bursty"),
+            fault_loads=(0, 3))
+
+QUICK = dict(width=6, height=6, algorithm="nafta", load=0.30,
+             message_length=4, cycles=600, warmup=100, seed=11,
+             patterns=("transpose", "bursty"),
+             fault_loads=(0, 2))
+
+
+def _pattern_kwargs(pattern: str) -> dict:
+    if pattern == "bursty":
+        return {"duty": 0.25, "burst_len": 20}
+    return {}
+
+
+def _make_specs(cfg: dict) -> list[tuple[dict, WorkloadSpec]]:
+    """One spec per (policy, pattern, fault-load) cell, with the cell
+    identity riding alongside."""
+    out = []
+    for n_faults in cfg["fault_loads"]:
+        topo = Mesh2D(cfg["width"], cfg["height"])
+        rng = np.random.default_rng([cfg["seed"], n_faults])
+        links = random_link_faults(topo, n_faults, rng) if n_faults else []
+        for pattern in cfg["patterns"]:
+            for policy in POLICIES:
+                cell = {"policy": policy, "pattern": pattern,
+                        "n_link_faults": n_faults}
+                out.append((cell, WorkloadSpec(
+                    topology=Mesh2D(cfg["width"], cfg["height"]),
+                    algorithm=cfg["algorithm"], pattern=pattern,
+                    pattern_kwargs=_pattern_kwargs(pattern),
+                    load=cfg["load"],
+                    message_length=cfg["message_length"],
+                    cycles=cfg["cycles"], warmup=cfg["warmup"],
+                    seed=cfg["seed"], fault_links=links,
+                    drain=False, metrics_stride=200,
+                    policy=policy, policy_seed=cfg["seed"])))
+    return out
+
+
+def link_imbalance(metrics: dict, topology, fault_links) -> float:
+    """max/mean per-link flits over the alive directed links.  Links
+    that carried nothing still count toward the mean — an unused link
+    *is* imbalance — but faulted links are excluded (no policy can use
+    them)."""
+    counts = metrics.get("link_flits", {})
+    dead = {(min(a, b), max(a, b)) for a, b in fault_links}
+    n_links = 0
+    for node in topology.nodes():
+        for nbr in topology.neighbors(node):
+            if (min(node, nbr), max(node, nbr)) not in dead:
+                n_links += 1
+    total = sum(counts.values())
+    if not n_links or not total:
+        return 0.0
+    return max(counts.values()) / (total / n_links)
+
+
+def run(quick: bool = False, workers: int = 0) -> dict:
+    cfg = QUICK if quick else FULL
+    cells_specs = _make_specs(cfg)
+    results = run_sweep([s for _, s in cells_specs], workers=workers,
+                        cache=False, label="bench_loadbalance")
+    rows = []
+    for (cell, spec), res in zip(cells_specs, results):
+        metrics = res.get("metrics", {})
+        rows.append({
+            **cell,
+            "throughput": res["throughput_flits_node_cycle"],
+            "mean_latency": res["mean_latency"],
+            "p99_latency": res["p99_latency"],
+            "imbalance": link_imbalance(metrics, spec.build_topology(),
+                                        spec.fault_links),
+            "messages_delivered": res["messages_delivered"],
+            "deadlocked": res["deadlocked"],
+        })
+
+    def agg(pred, key):
+        vals = [r[key] for r in rows if pred(r)]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    loadbalance = {"rows": rows}
+    for policy in POLICIES:
+        loadbalance[f"{policy}_throughput"] = agg(
+            lambda r, p=policy: r["policy"] == p, "throughput")
+        loadbalance[f"{policy}_imbalance"] = agg(
+            lambda r, p=policy: r["policy"] == p, "imbalance")
+    loadbalance["mean_imbalance"] = agg(lambda r: True, "imbalance")
+    return {
+        "quick": quick,
+        "config": {k: (list(v) if isinstance(v, tuple) else v)
+                   for k, v in cfg.items()},
+        "loadbalance": loadbalance,
+    }
+
+
+def table_text(report: dict) -> str:
+    """The policy x pattern comparison table CI uploads as an
+    artifact."""
+    rows = report["loadbalance"]["rows"]
+    head = (f"{'policy':<14} {'pattern':<10} {'faults':>6} "
+            f"{'throughput':>11} {'latency':>9} {'imbalance':>10}")
+    lines = [head, "-" * len(head)]
+    for r in rows:
+        lines.append(
+            f"{r['policy']:<14} {r['pattern']:<10} "
+            f"{r['n_link_faults']:>6} {r['throughput']:>11.4f} "
+            f"{r['mean_latency']:>9.1f} {r['imbalance']:>10.2f}")
+    lines.append("-" * len(head))
+    lb = report["loadbalance"]
+    for policy in POLICIES:
+        lines.append(f"{policy:<14} mean throughput "
+                     f"{lb[f'{policy}_throughput']:.4f}  "
+                     f"mean imbalance {lb[f'{policy}_imbalance']:.2f}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller mesh / fewer cells (CI smoke test)")
+    ap.add_argument("--workers", type=int, default=0,
+                    help="sweep-pool worker processes (0 = in-process)")
+    ap.add_argument("--table", default=None, metavar="PATH",
+                    help="also write the comparison table as text")
+    ap.add_argument("--out", default=None,
+                    help="write the JSON report here (default: "
+                         "BENCH_loadbalance.json next to the repo "
+                         "root; '-' prints to stdout only)")
+    args = ap.parse_args(argv)
+    report = run(quick=args.quick, workers=args.workers)
+    if not args.quick:
+        # the committed baseline doubles as the quick-mode reference
+        # (same convention as BENCH_reroute.json): quick cells differ
+        # in mesh size and cycle count, so record their aggregates
+        quick_report = run(quick=True, workers=args.workers)
+        report["quick_reference"] = {
+            "loadbalance": quick_report["loadbalance"]}
+    print(table_text(report))
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.table:
+        import pathlib
+        pathlib.Path(args.table).write_text(table_text(report) + "\n")
+        print(f"wrote {args.table}")
+    if args.out != "-":
+        import pathlib
+        out = pathlib.Path(args.out) if args.out else \
+            pathlib.Path(__file__).resolve().parent.parent / \
+            "BENCH_loadbalance.json"
+        out.write_text(text + "\n")
+        print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -72,7 +72,30 @@ TRACKED = (
     ("reroute.cycles_of_loss", "reroute loss-window cycles", "lower"),
     ("reroute.time_to_recover_cycles",
      "reroute worst recovery gap (cycles)", "lower"),
+    # load-balance sweep (BENCH_loadbalance.json): per-policy mean
+    # accepted throughput near saturation (a drop means a policy
+    # stopped spreading or started misrouting) and link-imbalance
+    # aggregates (growth means the candidate re-ordering stopped
+    # reaching the fabric)
+    ("loadbalance.deterministic_throughput",
+     "loadbalance deterministic throughput", "higher"),
+    ("loadbalance.ecmp_throughput", "loadbalance ecmp throughput",
+     "higher"),
+    ("loadbalance.flowlet_throughput", "loadbalance flowlet throughput",
+     "higher"),
+    ("loadbalance.credit_throughput", "loadbalance credit throughput",
+     "higher"),
+    ("loadbalance.mean_imbalance", "loadbalance mean link imbalance",
+     "lower"),
+    ("loadbalance.ecmp_imbalance", "loadbalance ecmp link imbalance",
+     "lower"),
 )
+
+
+def _fmt(v: float) -> str:
+    """Rates print as integers; ratios/throughputs (< 100) keep their
+    significant digits instead of rounding to zero."""
+    return f"{v:,.0f}" if abs(v) >= 100 else f"{v:.4g}"
 
 DEFAULT_BASELINE = pathlib.Path(__file__).resolve().parent.parent / \
     "BENCH_engine.json"
@@ -105,7 +128,7 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
             if cur > 0.0:
                 mark = "REGRESSION"
                 failures.append(
-                    f"{label}: {cur:,.0f} vs a zero baseline — any "
+                    f"{label}: {_fmt(cur)} vs a zero baseline — any "
                     f"nonzero value is a regression"
                 )
         else:
@@ -114,18 +137,18 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
             if direction == "higher" and ratio < 1.0 - threshold:
                 mark = "REGRESSION"
                 failures.append(
-                    f"{label}: {cur:,.0f} is {1 - ratio:.0%} below the "
-                    f"baseline {base:,.0f} (allowed: {threshold:.0%})"
+                    f"{label}: {_fmt(cur)} is {1 - ratio:.0%} below the "
+                    f"baseline {_fmt(base)} (allowed: {threshold:.0%})"
                 )
             elif direction == "lower" and ratio > 1.0 + threshold:
                 mark = "REGRESSION"
                 failures.append(
-                    f"{label}: {cur:,.0f} is {ratio - 1:.0%} above the "
-                    f"baseline {base:,.0f} (allowed: {threshold:.0%}; "
+                    f"{label}: {_fmt(cur)} is {ratio - 1:.0%} above the "
+                    f"baseline {_fmt(base)} (allowed: {threshold:.0%}; "
                     f"lower is better)"
                 )
         rows.append(
-            f"  {label:<38} {cur:>12,.0f}  vs {base:>12,.0f}  "
+            f"  {label:<38} {_fmt(cur):>12}  vs {_fmt(base):>12}  "
             f"({ratio_text})  {mark}"
         )
     print(f"benchmark regression check (threshold {threshold:.0%}):")

@@ -32,11 +32,22 @@ INTERP_VARIANTS = (
 
 
 def _simulate(case: ConformanceCase, algorithm,
-              engine: str = "object", metrics_stride: int = 0) -> dict:
+              engine: str = "object", metrics_stride: int = 0,
+              policy: str = "deterministic", policy_seed: int = 0,
+              frr: bool = False) -> dict:
     """One simulation of ``case`` with a prebuilt algorithm instance."""
     topo = case.build_topology()
+    if frr:
+        # wrap directly rather than via SimConfig(backup_routes=True):
+        # that knob needs the harsh-mode recovery machinery, while
+        # conformance faults are static and never *confirmed* — so the
+        # wrapper must stay unarmed, and compiling/carrying the backup
+        # tables must not change a single decision
+        from ..routing.backup import FastReroute
+        algorithm = FastReroute(algorithm, topo)
     config = SimConfig(buffer_depth=case.buffer_depth, trace_paths=True,
-                       engine=engine)
+                       engine=engine, policy=policy,
+                       policy_seed=policy_seed)
     metrics = None
     if metrics_stride:
         from ..obs import MetricsTimeseries
@@ -99,7 +110,8 @@ def _simulate(case: ConformanceCase, algorithm,
 
 def run_case(case: ConformanceCase, *, shadow: bool = True,
              interp: bool = True, engine: str = "object",
-             metrics_stride: int = 0) -> dict:
+             metrics_stride: int = 0, policy: str = "deterministic",
+             policy_seed: int = 0, frr: bool = False) -> dict:
     """Run a case (with its recorded mutation, if any) and return the
     JSON-able evidence dict the oracles consume.
 
@@ -113,24 +125,39 @@ def run_case(case: ConformanceCase, *, shadow: bool = True,
     ``metrics_stride`` > 0 attaches a metrics timeseries to the primary
     run — sampling must never perturb a digest, so running the corpus
     with metrics on is a conformance check of the observer itself.
+    ``policy`` selects an output-selection policy
+    (:mod:`repro.routing.select`) for every run; the policy re-orders
+    each decision's legal candidate list, so the oracles fuzz the
+    selection path under the same legality/delivery contracts.
+    ``frr`` runs the case with ``SimConfig(backup_routes=True)``:
+    conformance faults are static (never *confirmed* at runtime), so
+    the FastReroute wrapper must stay transparent — compiling and
+    carrying the backup tables must not change a single decision.
+    ``frr`` disables the shadow differential: the backup-table build
+    probes the wrapped algorithm under synthetic fault configurations,
+    which would pollute a shadow wrapper's mismatch log.
     """
     meta = ALGORITHM_META[case.algorithm]
     with apply_mutation(case.mutation):
-        if shadow and meta.nft_equivalent and not case.has_faults():
+        if shadow and not frr and meta.nft_equivalent \
+                and not case.has_faults():
             algo = ShadowDifferential(make_algorithm(case.algorithm),
                                       make_algorithm(meta.nft_equivalent))
-            result = _simulate(case, algo, engine, metrics_stride)
+            result = _simulate(case, algo, engine, metrics_stride,
+                               policy, policy_seed)
             result["shadow"] = {"against": meta.nft_equivalent,
                                 "mismatches": algo.mismatches}
         else:
             result = _simulate(case, make_algorithm(case.algorithm),
-                               engine, metrics_stride)
+                               engine, metrics_stride, policy,
+                               policy_seed, frr)
 
         if interp and meta.rule_driven:
             runs = {}
             for label, kwargs in INTERP_VARIANTS:
                 sub = _simulate(case, make_algorithm(case.algorithm,
-                                                     **kwargs), engine)
+                                                     **kwargs), engine,
+                                0, policy, policy_seed, frr)
                 runs[label] = {"digest": sub["digest"],
                                "decisions": sub["decisions"],
                                "summary": sub["summary"]}
@@ -144,16 +171,21 @@ def run_case_payload(payload: dict) -> dict:
     pickles.
 
     ``payload`` is a case dict plus optional ``engine`` /
-    ``metrics_stride`` keys — both are properties of the *run*, not the
-    scenario, so they are stripped before the case is reconstructed
-    (case keys and corpus entries stay engine-independent)."""
+    ``metrics_stride`` / ``policy`` / ``policy_seed`` / ``frr`` keys —
+    all properties of the *run*, not the scenario, so they are stripped
+    before the case is reconstructed (case keys and corpus entries stay
+    independent of how the case was executed)."""
     from .oracles import check_case  # local: avoid an import cycle
 
     payload = dict(payload)
     engine = payload.pop("engine", "object")
     metrics_stride = int(payload.pop("metrics_stride", 0))
+    policy = payload.pop("policy", "deterministic")
+    policy_seed = int(payload.pop("policy_seed", 0))
+    frr = bool(payload.pop("frr", False))
     case = ConformanceCase.from_dict(payload)
-    result = run_case(case, engine=engine, metrics_stride=metrics_stride)
+    result = run_case(case, engine=engine, metrics_stride=metrics_stride,
+                      policy=policy, policy_seed=policy_seed, frr=frr)
     violations = check_case(case, result)
     return {
         "case": payload,

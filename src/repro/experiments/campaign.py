@@ -44,6 +44,9 @@ def scenario_rng(seed: int, index: int) -> np.random.Generator:
 def make_scenario(index: int, *, width: int = 8, height: int = 8,
                   n_link_faults: int = 2, n_node_faults: int = 0,
                   algorithm: str = "nafta", load: float = 0.12,
+                  pattern: str = "uniform",
+                  pattern_kwargs: dict | None = None,
+                  policy: str = "deterministic", policy_seed: int = 0,
                   message_length: int = 6, cycles: int = 2000,
                   warmup: int = 200, seed: int = 1,
                   detection_delay: int = 40,
@@ -73,6 +76,8 @@ def make_scenario(index: int, *, width: int = 8, height: int = 8,
     timed += [(int(rng.integers(lo, hi)), "node", node) for node in nodes]
     return WorkloadSpec(
         topology=topo, algorithm=algorithm, load=load,
+        pattern=pattern, pattern_kwargs=dict(pattern_kwargs or {}),
+        policy=policy, policy_seed=policy_seed,
         message_length=message_length, cycles=cycles, warmup=warmup,
         seed=seed * 1000 + index, timed_faults=timed,
         fault_mode="harsh", detection_delay=detection_delay,

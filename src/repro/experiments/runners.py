@@ -20,8 +20,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..routing.registry import make_algorithm
+from ..routing.select import POLICIES
 from ..sim import (FaultSchedule, Mesh2D, Network, SimConfig,
                    TrafficGenerator, Hypercube, random_link_faults)
+from ..sim.traffic import PATTERNS
 from ..sim.batched import build_network
 from ..sim.network import DeadlockError
 from ..sim.topology import Topology, topology_from_dict
@@ -41,6 +43,9 @@ class WorkloadSpec:
     topology: Topology | dict
     algorithm: str
     pattern: str = "uniform"
+    #: extra TrafficGenerator arguments for parameterized patterns
+    #: (bursty: duty/burst_len, trace_replay: trace)
+    pattern_kwargs: dict = field(default_factory=dict)
     load: float = 0.1
     message_length: int = 4
     cycles: int = 2000
@@ -72,6 +77,21 @@ class WorkloadSpec:
     #: included — falls back to the object engine only when tracing is
     #: requested, and the summary's ``engine_fallback`` key says why)
     engine: str = "object"
+    #: output-selection policy over legal route candidates
+    #: (repro.routing.select; non-default policies run on the object
+    #: engine — build_network declines them for "batched")
+    policy: str = "deterministic"
+    policy_seed: int = 0
+
+    def __post_init__(self):
+        # fail at spec-parse time, not deep inside TrafficGenerator or
+        # the routing layer mid-sweep
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"unknown traffic pattern {self.pattern!r}; "
+                             f"choose from {sorted(PATTERNS)}")
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown selection policy {self.policy!r}; "
+                             f"choose from {sorted(POLICIES)}")
 
     # -- serialization (process boundary / cache identity) ------------
 
@@ -130,6 +150,12 @@ class WorkloadSpec:
             # cached spec_key stays valid (and "object" === absent)
             **({"engine": self.engine} if self.engine != "object"
                else {}),
+            **({"pattern_kwargs": dict(self.pattern_kwargs)}
+               if self.pattern_kwargs else {}),
+            **({"policy": self.policy}
+               if self.policy != "deterministic" else {}),
+            **({"policy_seed": int(self.policy_seed)}
+               if self.policy_seed else {}),
         }
 
     @classmethod
@@ -165,6 +191,9 @@ class WorkloadSpec:
             trace_capacity=int(d.get("trace_capacity", 65536)),
             metrics_stride=int(d.get("metrics_stride", 0)),
             engine=d.get("engine", "object"),
+            pattern_kwargs=dict(d.get("pattern_kwargs", {})),
+            policy=d.get("policy", "deterministic"),
+            policy_seed=int(d.get("policy_seed", 0)),
         )
 
     def spec_key(self, code_token: str | None = None) -> str:
@@ -199,7 +228,9 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
                     retry_backoff=spec.retry_backoff,
                     hop_budget=spec.hop_budget,
                     backup_routes=spec.backup_routes,
-                    engine=spec.engine)
+                    engine=spec.engine,
+                    policy=spec.policy,
+                    policy_seed=spec.policy_seed)
     algo = make_algorithm(spec.algorithm)
     tracer = metrics = None
     if spec.trace:
@@ -221,7 +252,8 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
         net.schedule_faults(schedule)
     net.attach_traffic(TrafficGenerator(
         topology, spec.pattern, load=spec.load,
-        message_length=spec.message_length, seed=spec.seed))
+        message_length=spec.message_length, seed=spec.seed,
+        pattern_kwargs=spec.pattern_kwargs or None))
     net.set_warmup(spec.warmup)
     deadlocked = False
     try:
@@ -237,6 +269,7 @@ def run_workload(spec: WorkloadSpec, drain: bool | None = None) -> dict:
     out["pattern"] = spec.pattern
     out["deadlocked"] = deadlocked
     out["engine"] = net.engine_name
+    out["policy"] = spec.policy
     out["undelivered"] = len(net.undelivered())
     out["n_faults"] = net.faults.n_faults()
     out.update(_logical_accounting(net))

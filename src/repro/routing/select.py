@@ -1,0 +1,221 @@
+"""Pluggable output-selection policies (the load-balancing axis).
+
+The paper's common structure (Section 2.2) ends with an *ordered*
+candidate list: fault knowledge restricts the usable outputs, the
+deadlock rules restrict them further, and an adaptivity criterion
+orders what remains.  The adaptivity command bits deliberately leave
+the *choice* among legal outputs open — this module makes that choice
+a first-class, swappable policy instead of a fixed preference order,
+mirroring the ECMP -> flowlet-switching progression of datacenter
+load balancing.
+
+A :class:`SelectionPolicy` re-orders the legal candidate list an
+algorithm produced; it never adds or removes candidates, so every
+route a policy picks is one the algorithm certified as fault-legal
+and deadlock-free.  The allocation stage still walks the list in
+order and takes the first candidate with a free output VC, so the
+policy expresses a *preference*, with the rest of the legal set as
+fallback.
+
+Policies:
+
+``deterministic``
+    The identity: keep the algorithm's own adaptivity order (the seed
+    behaviour, bit-identical — networks skip the hook entirely).
+``ecmp``
+    A seeded hash of (src, dst, msg-id) rotates the candidate list —
+    per-message multipath spreading, stable for a message's lifetime.
+``flowlet``
+    Per-flow (src, dst) hash reuse: consecutive messages of a flow
+    follow the same preference until the flow has been idle longer
+    than ``gap`` cycles, then the flow re-hashes onto a fresh
+    candidate — flowlet switching on idle gaps.
+``credit``
+    Pick the candidate whose downstream buffer currently advertises
+    the most credits (ties broken deterministically by (port, vc)) —
+    congestion-aware greedy spreading.
+
+All policies are deterministic functions of (seed, message/flow
+identity, candidate list, network state), so any run is reproducible
+from its :meth:`~repro.experiments.runners.WorkloadSpec.spec_key` and
+seed.  Only ``deterministic`` is eligible for the batched engine: the
+others would invalidate its decision cache's replay of candidate
+orderings, so :func:`repro.sim.batched.build_network` declines them
+with an explicit ``batched_fallback_reason``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.flit import Header
+    from ..sim.router import Router
+
+Candidate = "tuple[int, int]"
+
+
+def _mix(seed: int, *vals: int) -> int:
+    """Small deterministic integer hash (xorshift-style avalanche).
+
+    Python's builtin ``hash`` is salted per process for str/bytes and
+    identity-shaped for small ints; this mix is stable across
+    processes and Python versions, which the content-addressed sweep
+    cache and the reproducibility tests rely on."""
+    h = (seed ^ 0x9E3779B9) & 0xFFFFFFFF
+    for v in vals:
+        h ^= ((v & 0xFFFFFFFF) + 0x9E3779B9 + ((h << 6) & 0xFFFFFFFF)
+              + (h >> 2)) & 0xFFFFFFFF
+        h &= 0xFFFFFFFF
+        h ^= h >> 16
+        h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+        h ^= h >> 13
+    return h
+
+
+class SelectionPolicy:
+    """Base class: re-order a legal candidate list.
+
+    ``select`` receives the router making the decision, the worm's
+    header, and the algorithm-ordered candidate list; it returns a
+    permutation of that list (never a different set).  The network
+    calls it for fresh decisions *and* for the per-cycle refreshes of
+    blocked adaptive heads, so a policy that must keep a worm's choice
+    stable has to derive it from message/flow identity, not from call
+    order."""
+
+    #: registry identifier
+    name: str = "base"
+    #: True only for the identity policy: the batched engine's decision
+    #: cache replays candidate orderings, so anything else must fall
+    #: back to the object engine
+    batched_compatible: bool = False
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def reset(self, network) -> None:
+        """Drop per-run state (called when a network adopts the
+        policy)."""
+
+    def select(self, router: "Router", header: "Header",
+               candidates: "list[tuple[int, int]]"
+               ) -> "list[tuple[int, int]]":
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.name} (seed {self.seed})"
+
+
+class DeterministicPolicy(SelectionPolicy):
+    """The seed behaviour: keep the algorithm's adaptivity order.
+
+    Networks treat this policy as "no policy" and skip the selection
+    hook entirely, so the default stays bit-identical to the
+    pre-policy code path (pinned digests hold)."""
+
+    name = "deterministic"
+    batched_compatible = True
+
+    def select(self, router, header, candidates):
+        return candidates
+
+
+class EcmpPolicy(SelectionPolicy):
+    """Seeded hash of (src, dst, msg-id) over the candidates.
+
+    The hash rotates the candidate list, so the picked candidate leads
+    and the algorithm's order is preserved cyclically behind it as the
+    blocked-fallback sequence.  Keying on the message id gives
+    per-message (packet-level) spraying: maximal spreading, no flow
+    affinity."""
+
+    name = "ecmp"
+
+    def select(self, router, header, candidates):
+        n = len(candidates)
+        if n < 2:
+            return candidates
+        i = _mix(self.seed, header.src, header.dst, header.msg_id) % n
+        return candidates[i:] + candidates[:i]
+
+
+class FlowletPolicy(SelectionPolicy):
+    """Per-flow hash reuse until an idle gap exceeds ``gap`` cycles.
+
+    A flow is (src, dst).  While a flow keeps deciding (any of its
+    worms routing or refreshing anywhere in the fabric), its salt — and
+    therefore its hash rotation — stays fixed, so in-order bursts share
+    a path.  Once the flow has been idle for more than ``gap`` cycles,
+    the next decision re-hashes with a bumped salt and the flowlet may
+    move to a different legal candidate."""
+
+    name = "flowlet"
+
+    def __init__(self, seed: int = 0, gap: int = 32):
+        super().__init__(seed)
+        if gap < 1:
+            raise ValueError("flowlet gap must be >= 1 cycle")
+        self.gap = int(gap)
+        # (src, dst) -> [last_decision_cycle, salt]
+        self._flows: dict[tuple[int, int], list[int]] = {}
+
+    def reset(self, network) -> None:
+        self._flows.clear()
+
+    def select(self, router, header, candidates):
+        cycle = router.network.cycle
+        key = (header.src, header.dst)
+        rec = self._flows.get(key)
+        if rec is None:
+            rec = [cycle, 0]
+            self._flows[key] = rec
+        elif cycle - rec[0] > self.gap:
+            rec[1] += 1
+        rec[0] = cycle
+        n = len(candidates)
+        if n < 2:
+            return candidates
+        i = _mix(self.seed, header.src, header.dst, rec[1]) % n
+        return candidates[i:] + candidates[:i]
+
+
+class CreditPolicy(SelectionPolicy):
+    """Most downstream credits first, deterministic tie-break.
+
+    Credits are the free slots of the downstream buffer a candidate
+    output VC feeds (:meth:`repro.sim.router.Router.credits`) — the
+    most direct congestion signal the router has.  Ties fall back to
+    the (port, vc) order, so equal-credit states are decided
+    identically on every run."""
+
+    name = "credit"
+
+    def select(self, router, header, candidates):
+        if len(candidates) < 2:
+            return candidates
+        credits = router.credits
+        return sorted(candidates,
+                      key=lambda pv: (-credits(pv[0], pv[1]),
+                                      pv[0], pv[1]))
+
+
+POLICIES: dict[str, type[SelectionPolicy]] = {
+    "deterministic": DeterministicPolicy,
+    "ecmp": EcmpPolicy,
+    "flowlet": FlowletPolicy,
+    "credit": CreditPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0, **kwargs) -> SelectionPolicy:
+    """Instantiate a registered selection policy.
+
+    ``kwargs`` forward to the policy constructor (``gap=`` for
+    ``flowlet``)."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown selection policy {name!r}; choose "
+                         f"from {sorted(POLICIES)}") from None
+    return factory(seed=seed, **kwargs)

@@ -242,6 +242,11 @@ class BatchedNetwork(Network):
                              "events; use build_network() to fall back "
                              "to the object engine when tracing")
         self._ffi, self._lib = kern
+        if config is not None and config.policy != "deterministic":
+            raise ValueError(
+                f"the batched engine supports only the 'deterministic' "
+                f"selection policy, not {config.policy!r}; use "
+                f"build_network() for transparent fallback")
         super().__init__(topology, algorithm, config, arbiter=arbiter,
                          metrics=metrics)
         if type(self.arbiter) is not Arbiter:
@@ -1232,6 +1237,11 @@ def batched_fallback_reason(arbiter="round_robin", tracer=None,
     if config is not None and config.backup_routes:
         return ("backup_routes is enabled (fast-reroute healing walks "
                 "per-flit worm state the batched arrays do not model)")
+    if config is not None and config.policy != "deterministic":
+        return (f"selection policy {config.policy!r} is not "
+                f"'deterministic' (the batched decision cache replays "
+                f"candidate orderings, so policy re-ordering would "
+                f"silently diverge)")
     if isinstance(arbiter, Arbiter):
         if type(arbiter) is not Arbiter:
             return (f"arbiter {arbiter.name!r} is not the stock "

@@ -60,11 +60,30 @@ def cmd_run(args) -> int:
     if args.mutate and args.mutate not in MUTATIONS:
         raise SystemExit(f"unknown mutation {args.mutate!r}; choose from "
                          f"{', '.join(sorted(MUTATIONS))}")
+    frr = bool(getattr(args, "frr", False))
+    if frr:
+        # FastReroute compiles backup tables around a fault-tolerant
+        # inner algorithm; reject nft algorithms up front instead of
+        # crashing every worker with the wrapper's ValueError
+        from ..routing.registry import ALGORITHMS
+        not_ft = [a for a in algorithms if not ALGORITHMS[a]().fault_tolerant]
+        if not_ft:
+            raise SystemExit(
+                f"--frr needs fault-tolerant algorithms; "
+                f"{', '.join(not_ft)} are not (pass --algorithms "
+                f"with fault-tolerant names only)")
     stream = generate_cases(algorithms, args.seed, mutation=args.mutate)
     if args.cases:
         stream = itertools.islice(stream, args.cases)
     engine = getattr(args, "engine", "object")
     metrics = bool(getattr(args, "metrics", False))
+    policy = getattr(args, "policy", "deterministic")
+    policy_seed = int(getattr(args, "policy_seed", 0))
+    if policy != "deterministic":
+        from ..routing.select import POLICIES
+        if policy not in POLICIES:
+            raise SystemExit(f"unknown selection policy {policy!r}; "
+                             f"choose from {', '.join(sorted(POLICIES))}")
 
     deadline = (time.monotonic() + args.budget) if args.budget else None
     reports: list[dict] = []
@@ -77,15 +96,21 @@ def cmd_run(args) -> int:
         if not chunk:
             break
         payloads = [c.to_dict() for c in chunk]
-        if engine != "object" or metrics:
-            # engine and metrics are run properties, not part of the
-            # scenario — run_case_payload strips them before
-            # rebuilding the case
+        if engine != "object" or metrics or frr \
+                or policy != "deterministic":
+            # engine, metrics, policy and frr are run properties, not
+            # part of the scenario — run_case_payload strips them
+            # before rebuilding the case
             for p in payloads:
                 if engine != "object":
                     p["engine"] = engine
                 if metrics:
                     p["metrics_stride"] = 1
+                if policy != "deterministic":
+                    p["policy"] = policy
+                    p["policy_seed"] = policy_seed
+                if frr:
+                    p["frr"] = True
         reports.extend(run_parallel(payloads, run_case_payload,
                                     workers=args.workers,
                                     progress=args.progress,
@@ -106,7 +131,9 @@ def cmd_run(args) -> int:
           f"(seed {args.seed}"
           + (f", mutation {args.mutate}" if args.mutate else "")
           + (f", engine {engine}" if engine != "object" else "")
-          + (", metrics" if metrics else "") + ")")
+          + (", metrics" if metrics else "")
+          + (f", policy {policy}" if policy != "deterministic" else "")
+          + (", frr" if frr else "") + ")")
     for name in sorted(per_algo):
         print(f"  {name}: {per_algo[name]} cases")
 
@@ -210,6 +237,17 @@ def main(argv=None) -> int:
                             "every run; sampling must never perturb a "
                             "digest, so this doubles as an "
                             "observer-invisibility check")
+    p_run.add_argument("--policy", default="deterministic",
+                       help="output-selection policy for every run "
+                            "(repro.routing.select); the policy "
+                            "re-orders legal candidates, so the "
+                            "oracles fuzz the selection path")
+    p_run.add_argument("--policy-seed", type=int, default=0)
+    p_run.add_argument("--frr", action="store_true",
+                       help="run every case with backup_routes=True; "
+                            "conformance faults are static (never "
+                            "confirmed), so the FastReroute wrapper "
+                            "must stay fully transparent")
     p_run.add_argument("--mutate", metavar="NAME",
                        help="apply a registered test-only mutation "
                             f"({', '.join(sorted(MUTATIONS))})")

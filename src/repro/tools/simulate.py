@@ -75,6 +75,14 @@ def main(argv: list[str] | None = None) -> int:
                          "oracle or the bit-identical struct-of-"
                          "arrays engine (falls back to object when "
                          "unavailable)")
+    from ..routing.select import POLICIES
+    ap.add_argument("--policy", default="deterministic",
+                    choices=sorted(POLICIES),
+                    help="output-selection policy over legal route "
+                         "candidates (non-default policies run on the "
+                         "object engine)")
+    ap.add_argument("--policy-seed", type=int, default=0,
+                    help="hash seed for the ecmp/flowlet policies")
     ap.add_argument("--sweep-seeds", type=int, default=1, metavar="N",
                     help="replay the scenario under N consecutive "
                          "traffic seeds via the sweep engine")
@@ -97,12 +105,15 @@ def main(argv: list[str] | None = None) -> int:
         cycles=args.cycles, warmup=args.warmup, seed=args.seed,
         cycles_per_step=args.cycles_per_step, fault_links=fault_links,
         fault_nodes=fault_nodes, arbiter=args.arbiter,
-        engine=args.engine)
+        engine=args.engine, policy=args.policy,
+        policy_seed=args.policy_seed)
 
     banner = (f"{args.topology} / {args.algorithm} / {args.pattern} "
               f"@ {args.load} flits/node/cycle, {spec.cycles} cycles"
               + (f", {len(fault_links)} link faults" if fault_links else "")
-              + (f", {len(fault_nodes)} node faults" if fault_nodes else ""))
+              + (f", {len(fault_nodes)} node faults" if fault_nodes else "")
+              + (f", policy {args.policy}"
+                 if args.policy != "deterministic" else ""))
 
     if args.sweep_seeds > 1:
         specs = [replace(spec, seed=args.seed + i)

@@ -65,3 +65,39 @@ def test_interp_comparison_attached_for_rule_driven():
 def test_interp_comparison_absent_for_compiled_algorithms():
     result = run_case(generate_case("xy", seed=0, index=0))
     assert "interp" not in result
+
+
+def test_frr_is_transparent_and_stripped_from_identity():
+    # conformance faults are static and never *confirmed*, so the
+    # FastReroute wrapper stays unarmed: compiling and carrying the
+    # backup tables must not change a single decision
+    for case in (generate_case("nafta", seed=4, index=0),
+                 next(c for c in generate_cases(["nafta"], seed=4)
+                      if c.has_faults())):
+        plain = run_case_payload(case.to_dict())
+        frr = run_case_payload({**case.to_dict(), "frr": True})
+        assert frr["digest"] == plain["digest"]
+        assert frr["decisions"] == plain["decisions"]
+        # frr is a run property: same case key, no leak into the
+        # reconstructed case dict
+        assert frr["case_key"] == plain["case_key"]
+        assert "frr" not in frr["case"]
+        assert frr["violations"] == []
+
+
+def test_policy_run_property_stripped_and_fuzzable():
+    case = generate_case("nafta", seed=4, index=1)
+    plain = run_case_payload(case.to_dict())
+    ecmp = run_case_payload({**case.to_dict(),
+                             "policy": "ecmp", "policy_seed": 5})
+    assert ecmp["case_key"] == plain["case_key"]
+    assert "policy" not in ecmp["case"]
+    # the policy re-orders legal candidates only, so the oracles still
+    # hold — but the decision stream genuinely changes
+    assert ecmp["violations"] == []
+    assert ecmp["decisions"] == plain["decisions"]
+    assert ecmp["digest"] != plain["digest"]
+    # reproducible: same policy + seed, same digest
+    again = run_case_payload({**case.to_dict(),
+                              "policy": "ecmp", "policy_seed": 5})
+    assert again["digest"] == ecmp["digest"]

@@ -1,0 +1,136 @@
+"""benchmarks/check_regression.py: direction-aware gating.
+
+The checker mixes higher-is-better rates and lower-is-better gap /
+imbalance metrics in one TRACKED table; these tests drive one
+invocation over a report containing both directions and check each
+regression class fires (and only fires) on its own side.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" /
+    "check_regression.py")
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+BASELINE = {
+    "decision_throughput": {"fastpath_decisions_per_sec": 100_000.0},
+    "reroute": {"cycles_of_loss": 0.0,
+                "time_to_recover_cycles": 40.0},
+    "loadbalance": {"ecmp_throughput": 0.25,
+                    "mean_imbalance": 2.0},
+}
+
+
+def _write(tmp_path, name, report):
+    p = tmp_path / name
+    p.write_text(json.dumps(report))
+    return str(p)
+
+
+def _run(tmp_path, current, threshold=0.30):
+    base = _write(tmp_path, "baseline.json", BASELINE)
+    cur = _write(tmp_path, "current.json", current)
+    return check_regression.main([cur, "--baseline", base,
+                                  "--threshold", str(threshold)])
+
+
+def test_mixed_directions_all_within_threshold(tmp_path, capsys):
+    # one invocation covering both directions: a slightly slower rate,
+    # a slightly larger gap and a slightly larger imbalance all pass
+    current = {
+        "decision_throughput": {"fastpath_decisions_per_sec": 90_000.0},
+        "reroute": {"cycles_of_loss": 0.0,
+                    "time_to_recover_cycles": 48.0},
+        "loadbalance": {"ecmp_throughput": 0.22,
+                        "mean_imbalance": 2.3},
+    }
+    assert _run(tmp_path, current) == 0
+    out = capsys.readouterr().out
+    assert "within threshold" in out
+
+
+def test_higher_is_better_drop_fails(tmp_path, capsys):
+    current = {
+        "decision_throughput": {"fastpath_decisions_per_sec": 60_000.0},
+        "loadbalance": {"ecmp_throughput": 0.25,
+                        "mean_imbalance": 2.0},
+    }
+    assert _run(tmp_path, current) == 1
+    err = capsys.readouterr().err
+    assert "fastpath decisions/sec" in err
+    assert "below the baseline" in err
+
+
+def test_lower_is_better_rise_fails(tmp_path, capsys):
+    # the rate metrics are fine; only the lower-is-better imbalance
+    # regressed — the direction flip must catch the *rise*
+    current = {
+        "decision_throughput": {"fastpath_decisions_per_sec": 100_000.0},
+        "loadbalance": {"ecmp_throughput": 0.30,
+                        "mean_imbalance": 3.5},
+    }
+    assert _run(tmp_path, current) == 1
+    err = capsys.readouterr().err
+    assert "imbalance" in err
+    assert "above the baseline" in err
+
+
+def test_lower_is_better_improvement_passes(tmp_path):
+    current = {"loadbalance": {"mean_imbalance": 1.0,
+                               "ecmp_throughput": 0.50}}
+    assert _run(tmp_path, current) == 0
+
+
+def test_zero_baseline_held_exactly(tmp_path, capsys):
+    current = {"reroute": {"cycles_of_loss": 1.0,
+                           "time_to_recover_cycles": 40.0}}
+    assert _run(tmp_path, current) == 1
+    err = capsys.readouterr().err
+    assert "zero baseline" in err
+
+
+def test_both_directions_fail_in_one_invocation(tmp_path, capsys):
+    current = {
+        "decision_throughput": {"fastpath_decisions_per_sec": 50_000.0},
+        "loadbalance": {"mean_imbalance": 4.0},
+    }
+    assert _run(tmp_path, current) == 1
+    err = capsys.readouterr().err
+    assert "fastpath decisions/sec" in err and "imbalance" in err
+
+
+def test_missing_metrics_skipped(tmp_path, capsys):
+    assert _run(tmp_path, {"unrelated": 1}) == 0
+    out = capsys.readouterr().out
+    assert "missing" in out
+
+
+def test_quick_report_uses_quick_reference(tmp_path, capsys):
+    baseline = {
+        "loadbalance": {"ecmp_throughput": 0.10},
+        "quick_reference": {"loadbalance": {"ecmp_throughput": 0.30}},
+    }
+    current = {"quick": True, "loadbalance": {"ecmp_throughput": 0.29}}
+    base = _write(tmp_path, "baseline.json", baseline)
+    cur = _write(tmp_path, "current.json", current)
+    assert check_regression.main([cur, "--baseline", base]) == 0
+    assert "quick_reference" in capsys.readouterr().out
+    # ... and a quick report that only beats the *full* numbers fails
+    current["loadbalance"]["ecmp_throughput"] = 0.11
+    cur = _write(tmp_path, "current2.json", current)
+    assert check_regression.main([cur, "--baseline", base]) == 1
+
+
+@pytest.mark.parametrize("value,expect", [
+    (123456.0, "123,456"), (0.2749, "0.2749"), (2.6789, "2.679"),
+])
+def test_fmt_keeps_small_values_readable(value, expect):
+    assert check_regression._fmt(value) == expect

@@ -61,6 +61,46 @@ class TestSpecRoundTrip:
         assert spec.spec_key("tokenA") != spec.spec_key("tokenB")
         assert spec.spec_key() == spec.spec_key(code_version_token())
 
+    def test_policy_and_pattern_kwargs_round_trip(self):
+        spec = small_spec(algorithm="nafta", pattern="bursty",
+                          pattern_kwargs={"duty": 0.25, "burst_len": 20},
+                          policy="flowlet", policy_seed=9)
+        d = spec.to_dict()
+        rebuilt = WorkloadSpec.from_dict(d)
+        assert rebuilt.to_dict() == d
+        assert rebuilt.policy == "flowlet"
+        assert rebuilt.policy_seed == 9
+        assert rebuilt.pattern_kwargs == {"duty": 0.25, "burst_len": 20}
+        assert rebuilt.spec_key() == spec.spec_key()
+
+    def test_default_policy_not_serialized(self):
+        # pre-policy cache entries must keep their spec keys: default
+        # values stay out of the dict entirely
+        d = small_spec().to_dict()
+        assert "policy" not in d
+        assert "policy_seed" not in d
+        assert "pattern_kwargs" not in d
+
+    def test_policy_changes_spec_key(self):
+        base = small_spec()
+        assert base.spec_key() != small_spec(policy="ecmp").spec_key()
+        assert small_spec(policy="ecmp", policy_seed=1).spec_key() != \
+            small_spec(policy="ecmp", policy_seed=2).spec_key()
+
+    def test_unknown_policy_rejected_at_spec_parse(self):
+        with pytest.raises(ValueError, match="unknown selection policy"):
+            small_spec(policy="nope")
+        with pytest.raises(ValueError, match="unknown selection policy"):
+            WorkloadSpec.from_dict({**small_spec().to_dict(),
+                                    "policy": "nope"})
+
+    def test_unknown_pattern_rejected_at_spec_parse(self):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            small_spec(pattern="nope")
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            WorkloadSpec.from_dict({**small_spec().to_dict(),
+                                    "pattern": "nope"})
+
     def test_spec_key_stable_across_processes(self):
         spec = small_spec(algorithm="nafta", fault_links=[(5, 9)])
         with ProcessPoolExecutor(max_workers=1) as pool:

@@ -100,6 +100,7 @@ def cmd_run(args) -> int:
         diagnosis_hop_delay=args.diagnosis_hop_delay,
         retry_limit=args.retry_limit, retry_backoff=args.retry_backoff,
         hop_budget=args.hop_budget, engine=args.engine,
+        policy=args.policy, policy_seed=args.policy_seed,
         **_obs_fields(args))
     result = run_workload(spec)
     trace = result.pop("trace", None)
@@ -119,6 +120,7 @@ def cmd_trace(args) -> int:
         diagnosis_hop_delay=args.diagnosis_hop_delay,
         retry_limit=args.retry_limit, retry_backoff=args.retry_backoff,
         hop_budget=args.hop_budget, engine=args.engine,
+        policy=args.policy, policy_seed=args.policy_seed,
         timed_faults=[_parse_fault(f) for f in args.fault],
         trace=True, trace_capacity=args.trace_capacity,
         metrics_stride=args.metrics_stride)
@@ -151,7 +153,8 @@ def cmd_campaign(args) -> int:
         retry_limit=0 if args.no_retry else args.retry_limit,
         retry_backoff=args.retry_backoff,
         hop_budget=args.hop_budget, backup_routes=args.backups == "on",
-        engine=args.engine, **obs)
+        engine=args.engine, pattern=args.pattern,
+        policy=args.policy, policy_seed=args.policy_seed, **obs)
     # traces/metrics are pulled out of the report (they would dwarf the
     # reliability numbers in --json); the Chrome export is scenario 0 —
     # one run per trace document, as the trace_event format expects
@@ -210,6 +213,13 @@ def _common(p: argparse.ArgumentParser) -> None:
                         "(bit-identical results, metrics included; "
                         "falls back to object only when tracing is "
                         "attached)")
+    p.add_argument("--policy", default="deterministic",
+                   choices=["deterministic", "ecmp", "flowlet", "credit"],
+                   help="output-selection policy over legal route "
+                        "candidates (docs/PERFORMANCE.md; non-default "
+                        "policies run on the object engine)")
+    p.add_argument("--policy-seed", type=int, default=0,
+                   help="hash seed for the ecmp/flowlet policies")
 
 
 def _obs_args(p: argparse.ArgumentParser) -> None:
